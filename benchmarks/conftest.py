@@ -1,0 +1,21 @@
+"""Benchmark-suite conventions.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the artifacts are reproduction tables, not microbenchmarks, and the
+timing column simply records how long each reproduction takes.  Each
+benchmark also prints its artifact so ``pytest benchmarks/ --benchmark-only
+-s`` shows the rows EXPERIMENTS.md records.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` once under the benchmark timer and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

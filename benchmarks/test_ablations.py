@@ -1,0 +1,39 @@
+"""E-ABL-* — ablations over design/deployment dimensions (DESIGN.md §4)."""
+
+from repro.bench.ablations import (
+    experiment_checkpoint_frequency,
+    experiment_detection_latency,
+    experiment_topology,
+)
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_checkpoint_frequency_tradeoff(run_once):
+    rows = run_once(experiment_checkpoint_frequency,
+                    intervals=(5.0, 10.0, 20.0, 40.0), seeds=3)
+    print_experiment("E-ABL-FREQ", format_table(rows))
+    # Sparser checkpoints -> more work lost per rollback, fewer checkpoints.
+    lost = [r["mean_work_lost_per_rollback"] for r in rows]
+    count = [r["checkpoints_committed_per_seed"] for r in rows]
+    assert lost[-1] > lost[0]
+    assert count[0] > count[-1]
+
+
+def test_detection_latency_blocking(run_once):
+    rows = run_once(experiment_detection_latency,
+                    latencies=(0.5, 2.0, 8.0, 20.0), seeds=3)
+    print_experiment("E-ABL-DETECT", format_table(rows))
+    # Slower detection -> survivors blocked longer before rules 1-6 fire.
+    blocked = [r["blocked_time_per_run"] for r in rows]
+    assert blocked[-1] > blocked[0]
+
+
+def test_topology_shapes_trees(run_once):
+    rows = run_once(experiment_topology, seeds=3)
+    print_experiment("E-ABL-TOPOLOGY", format_table(rows))
+    by_name = {r["workload"]: r for r in rows}
+    # A pipeline stage's checkpoint drags its upstream chain: the deepest
+    # trees; the ring's all-to-neighbour dependence recruits the most
+    # processes; client-server stays shallow (depth through the hub).
+    assert by_name["pipeline"]["max_depth"] >= 2
+    assert by_name["ring"]["mean_forced"] >= by_name["client-server"]["mean_forced"]

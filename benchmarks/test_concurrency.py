@@ -1,0 +1,19 @@
+"""E-CONC — concurrency scaling: Leu-Bhargava vs. Koo-Toueg rejection."""
+
+from repro.bench.experiments import experiment_concurrency
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_concurrency(run_once):
+    rows = run_once(experiment_concurrency, max_k=5, seeds=3)
+    print_experiment("E-CONC", format_table(rows))
+    lb = {r["k_initiators"]: r for r in rows if r["algorithm"] == "leu-bhargava"}
+    kt = {r["k_initiators"]: r for r in rows if r["algorithm"] == "koo-toueg"}
+
+    # Leu-Bhargava: never a rejection, at any contention level.
+    assert all(r["rejected"] == 0 for r in lb.values())
+    # Koo-Toueg rejects once contention appears, and rejections grow with k.
+    assert kt[1]["rejected"] <= kt[max(kt)]["rejected"]
+    assert sum(r["rejected"] for r in kt.values()) > 0
+    # Both still commit instances eventually (Koo-Toueg via retries).
+    assert all(r["committed"] > 0 for r in rows)

@@ -1,0 +1,16 @@
+"""E-DOMINO — uncoordinated checkpointing's rollback distances (Section 1)."""
+
+from repro.bench.experiments import experiment_domino
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_domino(run_once):
+    rows = run_once(experiment_domino, seeds=4)
+    print_experiment("E-DOMINO", format_table(rows))
+    # Coordinated checkpointing never recedes: the committed line is the
+    # recovery line by construction.
+    assert all(r["coordinated_mean_distance"] == 0.0 for r in rows)
+    # The uncoordinated cascade grows with communication density.
+    unco = [r["uncoordinated_mean_distance"] for r in rows]
+    assert unco[-1] > unco[0]
+    assert max(r["uncoordinated_max_distance"] for r in rows) >= 2

@@ -1,0 +1,13 @@
+"""E-EXT — Section 3.5.3: the extension removes checkpoint send-blocking."""
+
+from repro.bench.experiments import experiment_extension
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_extension(run_once):
+    rows = run_once(experiment_extension, seeds=4)
+    print_experiment("E-EXT", format_table(rows))
+    base, ext = rows
+    assert base["send_blocked_time_per_run"] > 0
+    assert ext["send_blocked_time_per_run"] == 0.0
+    assert ext["instances_committed"] > 0

@@ -1,0 +1,10 @@
+"""E-FAIL — Section 6: resilience to multiple process failures."""
+
+from repro.bench.experiments import experiment_failures
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_failures(run_once):
+    result = run_once(experiment_failures, seeds=8)
+    print_experiment("E-FAIL", format_table([result]))
+    assert result["consistent_runs"] == result["runs"] == 8

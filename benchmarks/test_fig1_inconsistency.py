@@ -1,0 +1,12 @@
+"""E-FIG1 — Figure 1: the inconsistent global checkpoint is never created."""
+
+from repro.bench.experiments import experiment_fig1
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_fig1_inconsistency(run_once):
+    result = run_once(experiment_fig1)
+    print_experiment("E-FIG1", format_table([result]))
+    # The algorithm forced the sender forward instead of committing the
+    # naive (inconsistent) line.
+    assert result["sender_forced_to_seq"] == result["receiver_checkpoint_seq"] == 2

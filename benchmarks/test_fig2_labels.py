@@ -1,0 +1,11 @@
+"""E-FIG2 — Figure 2: checkpoint/rollback-point numbering and labels."""
+
+from repro.bench.experiments import experiment_fig2
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_fig2_labels(run_once):
+    rows = run_once(experiment_fig2)
+    print_experiment("E-FIG2", format_table(rows))
+    assert [r["label"] for r in rows] == [r["paper_label"] for r in rows]
+    assert [r["label"] for r in rows] == [1, 2, 3, 3, 4]

@@ -1,0 +1,14 @@
+"""E-FIG3 — Figure 3 / Example 1: the chain checkpoint tree P2 -> P3 -> P4."""
+
+from repro.bench.experiments import experiment_fig3
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_fig3_example1(run_once):
+    result = run_once(experiment_fig3)
+    print_experiment("E-FIG3", format_table([result]))
+    assert result["edges"] == [(2, 3), (3, 4)]
+    assert result["decided"] == "commit"
+    assert result["participants_beyond_initiator"] == [3, 4]
+    assert result["p1_left_out"] is True
+    assert result["committed_seqs"] == {1: 2, 2: 2, 3: 2, 4: 2}

@@ -1,0 +1,14 @@
+"""E-FIG4 — Figure 4 / Example 2: interfering instances share checkpoints."""
+
+from repro.bench.experiments import experiment_fig4
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_fig4_example2(run_once):
+    result = run_once(experiment_fig4)
+    print_experiment("E-FIG4", format_table([result]))
+    assert result["both_committed"] is True
+    # The shared members took exactly one tentative checkpoint each,
+    # reused by both trees — the paper's shared-checkpoint mechanism.
+    assert result["tentatives_taken_by_shared_members"] == {3: 1, 4: 1}
+    assert len(result["instances"]) == 2

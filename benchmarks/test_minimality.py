@@ -1,0 +1,12 @@
+"""E-MIN — Theorems 3 and 4: minimality of isolated instances."""
+
+from repro.bench.experiments import experiment_minimality
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_minimality(run_once):
+    result = run_once(experiment_minimality, seeds=8)
+    print_experiment("E-MIN", format_table([result]))
+    assert result["violations"] == 0
+    assert result["checkpoint_instances_verified_minimal"] == 8
+    assert result["rollback_instances_verified_minimal"] == 8

@@ -1,0 +1,10 @@
+"""E-PART — Section 6: pessimistic network partitioning with voting."""
+
+from repro.bench.experiments import experiment_partition
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_partition(run_once):
+    result = run_once(experiment_partition, seeds=5)
+    print_experiment("E-PART", format_table([result]))
+    assert result["reintegrated_runs"] == result["runs"] == 5

@@ -1,0 +1,17 @@
+"""E-SCALE — per-instance cost vs. system size (DESIGN.md's n=4..32 sweep)."""
+
+from repro.bench.ablations import experiment_scale
+from repro.bench.harness import format_table, print_experiment
+
+
+def test_scale(run_once):
+    rows = run_once(experiment_scale, sizes=(4, 8, 16, 32), seeds=2)
+    print_experiment("E-SCALE", format_table(rows))
+    by_n = {r["n"]: r for r in rows}
+    # Bounded dependency window: the tree tracks the neighbourhood, so the
+    # instance cost stays far below the all-process (n-1) line as n grows.
+    assert by_n[32]["burst_mean_forced"] < 31 * 0.5
+    assert by_n[32]["burst_mean_forced"] <= by_n[4]["burst_mean_forced"] + 31 * 0.4
+    # Long unchecked windows percolate: dependencies approach everyone —
+    # minimality is about recruiting no MORE than the true dependency set.
+    assert by_n[32]["long_window_mean_forced"] > by_n[32]["burst_mean_forced"]

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Run the Section 5 comparison interactively.
+
+Puts all six algorithms (Leu-Bhargava base + extension, Koo-Toueg,
+Tamir-Séquin, Chandy-Lamport, Barigazzi-Strigini) on the identical random
+workload and prints the measured comparison table — the reproduction of the
+paper's qualitative Section 5 as numbers.
+
+Run:  python examples/algorithm_comparison.py          # quick (2 seeds)
+      python examples/algorithm_comparison.py --full   # the E-T5 settings
+"""
+
+import sys
+
+from repro.bench.experiments import experiment_table5
+from repro.bench.harness import format_table
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    rows = experiment_table5(
+        n=8 if full else 6,
+        seeds=5 if full else 2,
+        duration=60.0 if full else 30.0,
+    )
+    print(format_table(rows, title="Section 5 comparison (measured)"))
+    print()
+    print("How to read it (the paper's claims):")
+    print(" * tamir-sequin forces every process (mean_forced = n-1);")
+    print("   the tree-based algorithms force only dependents.")
+    print(" * koo-toueg rejects interfering instances (rejected > 0);")
+    print("   leu-bhargava completes them all concurrently (rejected = 0).")
+    print(" * barigazzi-strigini's atomic sends and full blocking dominate")
+    print("   the blocking columns; the 3.5.3 extension eliminates")
+    print("   checkpoint send-blocking entirely (send_blocked = 0).")
+    print(" * only the leu-bhargava rows ran on non-FIFO channels;")
+    print("   every baseline needed a FIFO transport to be correct.")
+
+
+if __name__ == "__main__":
+    main()

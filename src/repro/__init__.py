@@ -1,0 +1,73 @@
+"""Reproduction of Leu & Bhargava, *Concurrent Robust Checkpointing and
+Recovery in Distributed Systems* (ICDE 1988).
+
+Quick start::
+
+    from repro import Simulation, CheckpointProcess, RandomPeerWorkload
+    from repro.net import ExponentialDelay
+
+    sim = Simulation(seed=42, delay_model=ExponentialDelay(mean=1.0))
+    procs = {i: sim.add_node(CheckpointProcess(i)) for i in range(4)}
+    RandomPeerWorkload(message_rate=1.0, duration=50.0).install(sim, procs)
+    procs[0].initiate_checkpoint()
+    sim.run()
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
+figures and comparison experiments.
+"""
+
+from repro.analysis import (
+    check_app_states,
+    check_c1,
+    check_no_dangling_receives,
+    check_quiescent,
+    check_recovery_line,
+    collect,
+    reconstruct_trees,
+)
+from repro.core import (
+    CheckpointProcess,
+    ExtendedCheckpointProcess,
+    PartitionCoordinator,
+    ProtocolConfig,
+)
+from repro.errors import ConsistencyViolation, ProtocolError, ReproError
+from repro.failure import FailureDetector, FailureInjector, VoteRegistry
+from repro.sim import Simulation
+from repro.workloads import (
+    BurstyWorkload,
+    ClientServerWorkload,
+    PipelineWorkload,
+    RandomPeerWorkload,
+    RingWorkload,
+    ScriptedWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BurstyWorkload",
+    "CheckpointProcess",
+    "ClientServerWorkload",
+    "ConsistencyViolation",
+    "ExtendedCheckpointProcess",
+    "FailureDetector",
+    "FailureInjector",
+    "PartitionCoordinator",
+    "PipelineWorkload",
+    "ProtocolConfig",
+    "ProtocolError",
+    "RandomPeerWorkload",
+    "ReproError",
+    "RingWorkload",
+    "ScriptedWorkload",
+    "Simulation",
+    "VoteRegistry",
+    "check_app_states",
+    "check_c1",
+    "check_no_dangling_receives",
+    "check_quiescent",
+    "check_recovery_line",
+    "collect",
+    "reconstruct_trees",
+]

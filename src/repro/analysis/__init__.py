@@ -1,0 +1,37 @@
+"""Trace analysis: happens-before, consistency oracles, minimality, metrics."""
+
+from repro.analysis.consistency import (
+    check_app_states,
+    check_c1,
+    check_no_dangling_receives,
+    check_quiescent,
+    check_recovery_line,
+)
+from repro.analysis.diagram import space_time
+from repro.analysis.domino import domino_metrics, recovery_line, rollback_distance
+from repro.analysis.happens_before import HappensBefore
+from repro.analysis.minimality import (
+    check_checkpoint_minimality,
+    check_rollback_minimality,
+)
+from repro.analysis.stats import RunStats, collect
+from repro.analysis.tree_view import InstanceTree, reconstruct_trees
+
+__all__ = [
+    "HappensBefore",
+    "InstanceTree",
+    "RunStats",
+    "check_app_states",
+    "check_c1",
+    "check_checkpoint_minimality",
+    "check_no_dangling_receives",
+    "check_quiescent",
+    "check_recovery_line",
+    "check_rollback_minimality",
+    "collect",
+    "domino_metrics",
+    "reconstruct_trees",
+    "recovery_line",
+    "rollback_distance",
+    "space_time",
+]

@@ -1,0 +1,150 @@
+"""Run metrics for the Section 5 comparison experiments.
+
+Everything is computed from the trace and the network counters, so the same
+collector works for the Leu-Bhargava processes and for every baseline (they
+all emit the same trace vocabulary).
+
+Key metrics (one row of the measured comparison table):
+
+* ``forced_checkpoints_per_instance`` — how many processes beyond the
+  initiator took a checkpoint per committed instance (the minimality axis);
+* ``control_messages`` — protocol overhead;
+* ``send_blocked_time`` / ``comm_blocked_time`` — total process-time spent
+  with sends (resp. sends+receives) suspended (the blocking axis, where the
+  Section 3.5.3 extension and the blocking baselines differ most);
+* instance outcome counts — committed / aborted / rejected (the concurrency
+  axis: Koo-Toueg rejects interfering instances, Leu-Bhargava completes
+  them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.analysis.tree_view import reconstruct_trees
+from repro.sim import trace as T
+from repro.types import ProcessId, SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulation import Simulation
+
+
+@dataclass
+class RunStats:
+    """Aggregated metrics of one simulation run."""
+
+    duration: SimTime = 0.0
+    processes: int = 0
+    normal_messages: int = 0
+    control_messages: int = 0
+    discarded_messages: int = 0
+    checkpoints_tentative: int = 0
+    checkpoints_committed: int = 0
+    checkpoints_aborted: int = 0
+    rollbacks: int = 0
+    instances_started: int = 0
+    instances_committed: int = 0
+    instances_aborted: int = 0
+    instances_rejected: int = 0
+    send_blocked_time: SimTime = 0.0
+    comm_blocked_time: SimTime = 0.0
+    forced_per_instance: List[int] = field(default_factory=list)
+    tree_depths: List[int] = field(default_factory=list)
+    instance_latencies: List[SimTime] = field(default_factory=list)
+
+    @property
+    def mean_forced(self) -> float:
+        return sum(self.forced_per_instance) / len(self.forced_per_instance) if self.forced_per_instance else 0.0
+
+    @property
+    def max_forced(self) -> int:
+        return max(self.forced_per_instance) if self.forced_per_instance else 0
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.instance_latencies) / len(self.instance_latencies) if self.instance_latencies else 0.0
+
+    @property
+    def control_per_instance(self) -> float:
+        return self.control_messages / self.instances_started if self.instances_started else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table printers."""
+        return {
+            "processes": self.processes,
+            "normal_msgs": self.normal_messages,
+            "control_msgs": self.control_messages,
+            "instances": self.instances_started,
+            "committed": self.instances_committed,
+            "aborted": self.instances_aborted,
+            "rejected": self.instances_rejected,
+            "mean_forced": round(self.mean_forced, 2),
+            "max_forced": self.max_forced,
+            "send_blocked": round(self.send_blocked_time, 2),
+            "comm_blocked": round(self.comm_blocked_time, 2),
+            "mean_latency": round(self.mean_latency, 3),
+        }
+
+
+def collect(sim: "Simulation") -> RunStats:
+    """Compute :class:`RunStats` for a finished simulation."""
+    stats = RunStats(
+        duration=sim.now,
+        processes=len(sim.nodes),
+        normal_messages=sim.network.normal_sent,
+        control_messages=sim.network.control_sent,
+    )
+
+    suspend_since: Dict[ProcessId, SimTime] = {}
+    comm_since: Dict[ProcessId, SimTime] = {}
+    started_at: Dict[object, SimTime] = {}
+
+    for event in sim.trace:
+        kind = event.kind
+        if kind == T.K_DISCARD:
+            stats.discarded_messages += 1
+        elif kind == T.K_CHKPT_TENTATIVE:
+            stats.checkpoints_tentative += 1
+        elif kind == T.K_CHKPT_COMMIT:
+            stats.checkpoints_committed += 1
+        elif kind == T.K_CHKPT_ABORT:
+            stats.checkpoints_aborted += 1
+        elif kind == T.K_ROLLBACK:
+            stats.rollbacks += 1
+        elif kind == T.K_INSTANCE_START:
+            stats.instances_started += 1
+            started_at[event.fields["tree"]] = event.time
+        elif kind == T.K_INSTANCE_COMMIT:
+            stats.instances_committed += 1
+            begun = started_at.get(event.fields["tree"])
+            if begun is not None:
+                stats.instance_latencies.append(event.time - begun)
+        elif kind == T.K_INSTANCE_ABORT:
+            stats.instances_aborted += 1
+        elif kind == T.K_INSTANCE_REJECTED:
+            stats.instances_rejected += 1
+        elif kind == T.K_SUSPEND_SEND:
+            suspend_since[event.pid] = event.time
+        elif kind == T.K_RESUME_SEND:
+            begun = suspend_since.pop(event.pid, None)
+            if begun is not None:
+                stats.send_blocked_time += event.time - begun
+        elif kind == T.K_SUSPEND_ALL:
+            comm_since[event.pid] = event.time
+        elif kind == T.K_RESUME_ALL:
+            begun = comm_since.pop(event.pid, None)
+            if begun is not None:
+                stats.comm_blocked_time += event.time - begun
+
+    # Charge still-open suspensions up to the end of the run.
+    for begun in suspend_since.values():
+        stats.send_blocked_time += sim.now - begun
+    for begun in comm_since.values():
+        stats.comm_blocked_time += sim.now - begun
+
+    for tree in reconstruct_trees(sim.trace).values():
+        stats.forced_per_instance.append(len(tree.participants))
+        stats.tree_depths.append(tree.depth())
+
+    return stats

@@ -1,0 +1,21 @@
+"""Baseline algorithms for the Section 5 comparison.
+
+All run on the same simulation substrate and the same workloads as the
+Leu-Bhargava processes; see DESIGN.md for the per-algorithm feature matrix.
+"""
+
+from repro.baselines.barigazzi_strigini import BarigazziStriginiProcess
+from repro.baselines.base import BaselineProcess
+from repro.baselines.chandy_lamport import ChandyLamportProcess
+from repro.baselines.koo_toueg import KooTouegProcess
+from repro.baselines.tamir_sequin import TamirSequinProcess
+from repro.baselines.uncoordinated import UncoordinatedProcess
+
+__all__ = [
+    "BarigazziStriginiProcess",
+    "BaselineProcess",
+    "ChandyLamportProcess",
+    "KooTouegProcess",
+    "TamirSequinProcess",
+    "UncoordinatedProcess",
+]

@@ -1,0 +1,29 @@
+"""Shared scaffolding for the Section 5 baseline algorithms.
+
+Every baseline reuses the normal-message plane of
+:class:`repro.core.process.CheckpointProcess` — labels, ledger, suspension,
+output queue, trace vocabulary — so the Section 5 comparison runs identical
+workloads over identical substrates and differs *only* in protocol.
+
+:class:`BaselineProcess` neutralises the Leu-Bhargava protocol handlers;
+each baseline overrides what it needs.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.process import CheckpointProcess
+
+
+class BaselineProcess(CheckpointProcess):
+    """Base class for the comparison algorithms.
+
+    Inherits the full driver API (``send_app_message``, ``local_step``,
+    ``initiate_checkpoint``, ``initiate_rollback``) so all workloads run
+    unmodified; each baseline overrides exactly the protocol behaviour in
+    which it differs (Koo-Toueg keeps the tree machinery but gates it to a
+    single instance; Tamir-Séquin and Chandy-Lamport replace the protocol
+    entirely; Barigazzi-Strigini changes the send and blocking semantics).
+    """
+
+    algorithm_name = "baseline"

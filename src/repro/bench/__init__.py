@@ -1,0 +1,5 @@
+"""Benchmark harness: experiments (one per paper artifact) and printers."""
+
+from repro.bench.harness import format_series, format_table, print_experiment
+
+__all__ = ["format_series", "format_table", "print_experiment"]

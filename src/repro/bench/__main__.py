@@ -1,0 +1,51 @@
+"""Run every reproduction experiment and print its artifact.
+
+Usage::
+
+    python -m repro.bench              # everything (minutes)
+    python -m repro.bench fig3 table5  # a selection
+
+The printed tables are what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import ablations as A
+from repro.bench import experiments as E
+from repro.bench.harness import format_table, print_experiment
+
+REGISTRY = {
+    "scale": lambda: format_table(A.experiment_scale(), title="Instance cost vs. system size"),
+    "abl-freq": lambda: format_table(A.experiment_checkpoint_frequency(), title="Checkpoint frequency trade-off"),
+    "abl-detect": lambda: format_table(A.experiment_detection_latency(), title="Detection latency vs. blocking"),
+    "abl-topology": lambda: format_table(A.experiment_topology(), title="Workload topology vs. tree shape"),
+    "fig1": lambda: format_table([E.experiment_fig1()], title="Fig. 1 — inconsistency prevented"),
+    "fig2": lambda: format_table(E.experiment_fig2(), title="Fig. 2 — message labels"),
+    "fig3": lambda: format_table([E.experiment_fig3()], title="Fig. 3 / Example 1 — chain tree"),
+    "fig4": lambda: format_table([E.experiment_fig4()], title="Fig. 4 / Example 2 — interference"),
+    "table5": lambda: format_table(E.experiment_table5(), title="Section 5 comparison (measured)"),
+    "minimality": lambda: format_table([E.experiment_minimality()], title="Theorems 3/4 — minimality"),
+    "concurrency": lambda: format_table(E.experiment_concurrency(), title="Concurrency scaling"),
+    "failures": lambda: format_table([E.experiment_failures()], title="Section 6 — multiple failures"),
+    "partition": lambda: format_table([E.experiment_partition()], title="Section 6 — partitioning"),
+    "nonfifo": lambda: format_table([E.experiment_nonfifo()], title="Non-FIFO channels"),
+    "extension": lambda: format_table(E.experiment_extension(), title="Section 3.5.3 extension"),
+    "domino": lambda: format_table(E.experiment_domino(), title="Domino effect (motivation)"),
+}
+
+
+def main(argv: list) -> int:
+    names = argv or list(REGISTRY)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {sorted(REGISTRY)}")
+        return 2
+    for name in names:
+        print_experiment(name, REGISTRY[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,60 @@
+"""Experiment harness: parameter sweeps and ASCII table/series printers.
+
+Each experiment in :mod:`repro.bench.experiments` returns plain dict rows;
+this module renders them the way EXPERIMENTS.md records them, so the
+benchmark suite, the CLI (``python -m repro.bench``) and the documentation
+all show literally the same artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render dict rows as a fixed-width ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(c[i]) for c in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row_cells in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    points: Iterable[tuple],
+    x_label: str,
+    y_label: str,
+    title: str = "",
+) -> str:
+    """Render (x, y) points as a two-column series listing."""
+    rows = [{x_label: x, y_label: y} for x, y in points]
+    return format_table(rows, [x_label, y_label], title=title)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_experiment(name: str, rendered: str) -> None:
+    """Print an experiment artifact with a banner (goes into bench output)."""
+    bar = "=" * max(len(name) + 12, 40)
+    print(f"\n{bar}\n EXPERIMENT {name}\n{bar}\n{rendered}\n")

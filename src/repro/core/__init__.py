@@ -1,0 +1,33 @@
+"""The Leu-Bhargava concurrent robust checkpoint/rollback algorithm.
+
+Public surface:
+
+* :class:`~repro.core.process.CheckpointProcess` — a simulated process
+  running the full algorithm (procedures b1-b8 plus the Section 6 handlers).
+* :class:`~repro.core.process.ProtocolConfig` — its tunables.
+* :class:`~repro.core.extension.ExtendedCheckpointProcess` — the Section
+  3.5.3 variant that keeps sending while a checkpoint is uncommitted.
+* :class:`~repro.core.partition.PartitionCoordinator` — pessimistic
+  partition handling with weighted voting.
+* :mod:`~repro.core.messages` — the control-message vocabulary.
+"""
+
+from repro.core.app import Application, CounterApp
+from repro.core.extension import ExtendedCheckpointProcess
+from repro.core.labels import LabelLedger
+from repro.core.partition import PartitionCoordinator
+from repro.core.process import CheckpointProcess, ProtocolConfig
+from repro.core.trees import ChkptTreeState, RollTreeState, TreeRegistry
+
+__all__ = [
+    "Application",
+    "CheckpointProcess",
+    "ChkptTreeState",
+    "CounterApp",
+    "ExtendedCheckpointProcess",
+    "LabelLedger",
+    "PartitionCoordinator",
+    "ProtocolConfig",
+    "RollTreeState",
+    "TreeRegistry",
+]

@@ -1,0 +1,232 @@
+"""Message-label and interval bookkeeping (paper Sections 2 and 3).
+
+Checkpoints and rollback points of a process are numbered sequentially by the
+counter ``n_i``; a normal message sent while the counter is ``n`` carries
+label ``n`` (it was sent within the interval ``[n, n+1]``).  All of the
+algorithm's "who must join my tree" decisions reduce to queries over two logs
+kept here:
+
+* the **receive log** — for each received normal message: sender, label, and
+  the receiver-side interval it arrived in (the value of ``n_i`` at receive
+  time).  ``max_ij``, "the maximum label of the messages sent from P_i and
+  received within the interval [seqof(C_j)-1, seqof(C_j)]", is a query over
+  this log.
+* the **send log** — for each sent normal message: destination and label.
+  The potential roll-children of a rollback and the ``undo_seq`` it
+  advertises are queries over this log.
+
+Rollbacks never delete log entries; they flip an ``undone`` flag.  Labels are
+monotone (the counter only ever increases), so an undone message's label is
+never reused — the property that makes the discard filter for in-transit
+undone messages exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.types import Label, MessageId, ProcessId, Seq
+
+
+@dataclass
+class SentRecord:
+    """One normal-message send: ``msg_id`` to ``dst`` with ``label``.
+
+    ``undone_by`` records, for an undone send, the rollback that undid it
+    (tree id, undo_seq, undone_upto) — used to re-issue the rollback notice
+    when a checkpoint request references an already-undone message (see
+    ``ChkptProtocolMixin._on_chkpt_req``).
+    """
+
+    msg_id: MessageId
+    dst: ProcessId
+    label: Label
+    undone: bool = False
+    undone_by: Optional[tuple] = None
+
+
+@dataclass
+class ReceivedRecord:
+    """One normal-message receive.
+
+    ``interval`` is the receiver's counter value at receive time: the message
+    was received within the receiver's interval ``[interval, interval + 1]``.
+    """
+
+    msg_id: MessageId
+    src: ProcessId
+    label: Label
+    interval: Seq
+    undone: bool = False
+
+
+class LabelLedger:
+    """Send/receive logs plus the interval counter ``n_i`` for one process."""
+
+    def __init__(self, pid: ProcessId):
+        self.pid = pid
+        self.n: Seq = 0
+        self.sent: List[SentRecord] = []
+        self.received: List[ReceivedRecord] = []
+        # Discard filters: per sender, label ranges [lo, hi] of undone
+        # in-transit messages that must be dropped on arrival.
+        self._discard: Dict[ProcessId, List[Tuple[Label, Label]]] = {}
+
+    # ------------------------------------------------------------------
+    # Counter
+    # ------------------------------------------------------------------
+    def advance(self) -> Seq:
+        """``n_i := n_i + 1`` (new checkpoint or rollback point); returns new n."""
+        self.n += 1
+        return self.n
+
+    # ------------------------------------------------------------------
+    # Normal-message recording
+    # ------------------------------------------------------------------
+    def record_send(self, msg_id: MessageId, dst: ProcessId) -> Label:
+        """Log an outgoing message; returns the label it must carry (= n)."""
+        record = SentRecord(msg_id=msg_id, dst=dst, label=self.n)
+        self.sent.append(record)
+        return record.label
+
+    def record_receive(self, msg_id: MessageId, src: ProcessId, label: Label) -> ReceivedRecord:
+        """Log an accepted incoming message in the current interval."""
+        record = ReceivedRecord(msg_id=msg_id, src=src, label=label, interval=self.n)
+        self.received.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Checkpoint-tree queries (Section 3.1)
+    # ------------------------------------------------------------------
+    def max_label_from(self, src: ProcessId, interval: Seq) -> Label:
+        """``max_ij``: max label of live messages from ``src`` received within
+        ``[interval, interval + 1]``; 0 if none (paper's convention)."""
+        labels = [
+            r.label
+            for r in self.received
+            if r.src == src and r.interval == interval and not r.undone
+        ]
+        return max(labels) if labels else 0
+
+    def senders_in_interval(self, interval: Seq) -> Dict[ProcessId, Label]:
+        """All senders with live receives in the interval, with their max label.
+
+        These are the *potential chkpt-children* of a checkpoint whose
+        sequence number is ``interval + 1``.
+        """
+        result: Dict[ProcessId, Label] = {}
+        for r in self.received:
+            if r.interval == interval and not r.undone:
+                if r.label > result.get(r.src, 0):
+                    result[r.src] = r.label
+        return result
+
+    def senders_in_range(self, first: Seq, last: Seq) -> Dict[ProcessId, Label]:
+        """Senders of live receives in intervals ``first..last``, with max label.
+
+        The Section 3.5.3 extension recruits over every interval not yet
+        certified by a committed checkpoint, so a commit can soundly promote
+        the whole pending prefix.
+        """
+        result: Dict[ProcessId, Label] = {}
+        for r in self.received:
+            if first <= r.interval <= last and not r.undone:
+                if r.label > result.get(r.src, 0):
+                    result[r.src] = r.label
+        return result
+
+    def has_undone_send_with_label(self, dst: ProcessId, label: Label) -> bool:
+        """True if any outgoing message to ``dst`` with exactly ``label`` was
+        undone — the third clause of the true-chkpt-child test."""
+        return any(
+            r.undone for r in self.sent if r.dst == dst and r.label == label
+        )
+
+    def undone_send_info(self, dst: ProcessId, label: Label) -> Optional[tuple]:
+        """The ``undone_by`` notice of an undone send to ``dst`` with ``label``."""
+        for r in self.sent:
+            if r.dst == dst and r.label == label and r.undone and r.undone_by is not None:
+                return r.undone_by
+        return None
+
+    # ------------------------------------------------------------------
+    # Rollback (Sections 3.2 and 3.5.2)
+    # ------------------------------------------------------------------
+    def undo_for_rollback(self, restored_seq: Seq) -> Tuple[List[SentRecord], List[ReceivedRecord]]:
+        """Undo the effects of everything after the checkpoint ``restored_seq``.
+
+        Marks undone every live send with ``label >= restored_seq`` (sent in
+        or after the restored checkpoint's first interval) and every live
+        receive with ``interval >= restored_seq``.  Returns the newly undone
+        records so the caller can derive ``undo_seq`` and the potential
+        roll-children, and emit trace records.
+        """
+        undone_sends: List[SentRecord] = []
+        for r in self.sent:
+            if not r.undone and r.label >= restored_seq:
+                r.undone = True
+                undone_sends.append(r)
+        undone_receives: List[ReceivedRecord] = []
+        for r in self.received:
+            if not r.undone and r.interval >= restored_seq:
+                r.undone = True
+                undone_receives.append(r)
+        return undone_sends, undone_receives
+
+    @staticmethod
+    def undo_summary(undone_sends: List[SentRecord], fallback: Label) -> Tuple[Label, Set[ProcessId]]:
+        """Derive ``(bad_seq, potential roll-children)`` from undone sends.
+
+        ``bad_seq`` is the minimum label among the newly undone messages —
+        "the minimum label of the messages that have just been undone by the
+        sender" (paper's comment on b6).  When nothing was undone there are
+        no potential children and ``bad_seq`` falls back to the paper's
+        ``n_i`` value (it is never sent anywhere in that case).
+        """
+        if not undone_sends:
+            return fallback, set()
+        bad_seq = min(r.label for r in undone_sends)
+        children = {r.dst for r in undone_sends}
+        return bad_seq, children
+
+    def has_live_receive_from(self, src: ProcessId, min_label: Label) -> bool:
+        """True-roll-child test: a live receive from ``src`` with label >=
+        ``min_label`` exists."""
+        return any(
+            not r.undone and r.src == src and r.label >= min_label
+            for r in self.received
+        )
+
+    # ------------------------------------------------------------------
+    # Discard filters for in-transit undone messages
+    # ------------------------------------------------------------------
+    def install_discard_filter(self, src: ProcessId, lo: Label, hi: Label) -> None:
+        """Discard future normal messages from ``src`` with label in [lo, hi]."""
+        if lo > hi:
+            raise ProtocolError(f"bad discard range [{lo}, {hi}]")
+        self._discard.setdefault(src, []).append((lo, hi))
+
+    def should_discard(self, src: ProcessId, label: Label) -> bool:
+        """True if an arriving message matches an installed discard filter."""
+        return any(lo <= label <= hi for lo, hi in self._discard.get(src, []))
+
+    # ------------------------------------------------------------------
+    # Introspection (used by analysis and tests)
+    # ------------------------------------------------------------------
+    def live_receives(self) -> List[ReceivedRecord]:
+        return [r for r in self.received if not r.undone]
+
+    def live_sends(self) -> List[SentRecord]:
+        return [r for r in self.sent if not r.undone]
+
+    def snapshot_counts(self) -> Dict[str, int]:
+        """Cheap summary for debugging and stats."""
+        return {
+            "n": self.n,
+            "sent": len(self.sent),
+            "received": len(self.received),
+            "sent_undone": sum(1 for r in self.sent if r.undone),
+            "received_undone": sum(1 for r in self.received if r.undone),
+        }

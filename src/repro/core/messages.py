@@ -1,0 +1,207 @@
+"""Control messages of the Leu-Bhargava algorithm (paper Section 3.5).
+
+Each control message is a frozen dataclass stamped with the timestamp ``t``
+of the tree it belongs to.  The ``priority`` class attribute maps the paper's
+procedure priorities onto the kernel's same-instant ordering: rollback
+messages (b5/b6 inputs) are processed before checkpoint messages, which are
+processed before normal traffic — "procedures roll_initiation() and
+roll_request_propagation() have the highest priority".
+
+Normal messages are wrapped in :class:`NormalBody` so the Section 3.5.3
+extension can piggyback checkpoint markers ("marker(t')") on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.sim.event import PRIORITY_CHECKPOINT, PRIORITY_NORMAL, PRIORITY_ROLLBACK
+from repro.types import Label, Seq, TreeId
+
+
+@dataclass(frozen=True)
+class NormalBody:
+    """Payload wrapper for normal messages.
+
+    ``markers`` is empty in the base algorithm; under the extension it holds
+    the timestamps of the sender's uncommitted checkpointing instances, and
+    ``marker_seq`` the sequence number of the sender's newest uncommitted
+    checkpoint when the message was sent (the receiver uses it only for
+    tracing; the protocol logic needs just the timestamps).
+    """
+
+    payload: Any = None
+    markers: Tuple[TreeId, ...] = ()
+    marker_seq: Optional[Seq] = None
+    # Sender's incarnation at send time.  Unused (always 0) by the
+    # Leu-Bhargava algorithm, whose labels carry all needed ordering; the
+    # Tamir-Séquin baseline bumps it on every global rollback so receivers
+    # can drop cross-rollback in-transit messages.
+    incarnation: int = 0
+
+    priority = PRIORITY_NORMAL
+
+
+@dataclass(frozen=True)
+class ChkptReq:
+    """("chkpt_req", t, max_ij) — ask the receiver to checkpoint (b2 input)."""
+
+    tree: TreeId
+    max_label: Label
+
+    priority = PRIORITY_CHECKPOINT
+    kind = "chkpt_req"
+
+
+@dataclass(frozen=True)
+class ChkptAck:
+    """("pos_ack"/"neg_ack", t) in reply to a ChkptReq.
+
+    ``undone_notice`` rides along on a negative ack when the rejection is
+    due to the undone-message clause: it carries ``(roll tree, undo_seq,
+    undone_upto)`` of the rollback that undid the referenced message, so the
+    requester learns about its doomed tentative checkpoint *atomically* with
+    the rejection.  (A separately-sent roll_req could overtake or trail the
+    ack on a non-FIFO channel and lose the race against the instance's
+    commit; the paper's control-message atomicity assumption provides the
+    equivalent ordering guarantee.)
+    """
+
+    tree: TreeId
+    positive: bool
+    undone_notice: Optional[Tuple["TreeId", Label, Label]] = None
+
+    priority = PRIORITY_CHECKPOINT
+    kind = "chkpt_ack"
+
+
+@dataclass(frozen=True)
+class ReadyToCommit:
+    """("ready_to_commit", t) — subtree checkpointed, awaiting decision (b3)."""
+
+    tree: TreeId
+
+    priority = PRIORITY_CHECKPOINT
+    kind = "ready_to_commit"
+
+
+@dataclass(frozen=True)
+class Commit:
+    """("commit", t) — root's positive decision, propagated down (b4 case 1)."""
+
+    tree: TreeId
+
+    priority = PRIORITY_CHECKPOINT
+    kind = "commit"
+
+
+@dataclass(frozen=True)
+class Abort:
+    """("abort", t) — negative decision, propagated down (b4 case 2)."""
+
+    tree: TreeId
+
+    priority = PRIORITY_CHECKPOINT
+    kind = "abort"
+
+
+@dataclass(frozen=True)
+class RollReq:
+    """("roll_req", t, undo_seq) — ask the receiver to roll back (b6 input).
+
+    ``undo_seq`` is the minimum label of the messages the sender has just
+    undone.  ``undone_upto`` is the sender's interval counter at rollback
+    time: labels in ``[undo_seq, undone_upto]`` from this sender are the
+    undone messages, and the receiver must discard any of them still in
+    transit (paper: "P_i must also inform P_j to discard all subsequent
+    normal messages that are sent before P_i rolls back").
+    """
+
+    tree: TreeId
+    undo_seq: Label
+    undone_upto: Label
+
+    priority = PRIORITY_ROLLBACK
+    kind = "roll_req"
+
+
+@dataclass(frozen=True)
+class RollAck:
+    """("pos_ack"/"neg_ack", t) in reply to a RollReq."""
+
+    tree: TreeId
+    positive: bool
+
+    priority = PRIORITY_ROLLBACK
+    kind = "roll_ack"
+
+
+@dataclass(frozen=True)
+class RollComplete:
+    """("roll_complete", t) — subtree finished rolling back (b7 input)."""
+
+    tree: TreeId
+
+    priority = PRIORITY_ROLLBACK
+    kind = "roll_complete"
+
+
+@dataclass(frozen=True)
+class Restart:
+    """("restart", t) — root's decision to resume, propagated down (b8)."""
+
+    tree: TreeId
+
+    priority = PRIORITY_ROLLBACK
+    kind = "restart"
+
+
+# ----------------------------------------------------------------------
+# Section 6 — resiliency control messages
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DecisionInquiry:
+    """"Has anyone seen a decision for tree ``t``?" (rules 3 and 6).
+
+    ``decision_kind`` is ``"checkpoint"`` (looking for commit/abort) or
+    ``"rollback"`` (looking for restart).
+    """
+
+    tree: TreeId
+    decision_kind: str
+
+    priority = PRIORITY_CHECKPOINT
+    kind = "decision_inquiry"
+
+
+@dataclass(frozen=True)
+class DecisionReply:
+    """Reply to a :class:`DecisionInquiry`.
+
+    ``decision`` is ``"commit"``, ``"abort"``, ``"restart"`` or ``None`` when
+    the replier has seen no decision for the tree.
+    """
+
+    tree: TreeId
+    decision_kind: str
+    decision: Optional[str]
+
+    priority = PRIORITY_CHECKPOINT
+    kind = "decision_reply"
+
+
+CONTROL_KINDS = (
+    ChkptReq,
+    ChkptAck,
+    ReadyToCommit,
+    Commit,
+    Abort,
+    RollReq,
+    RollAck,
+    RollComplete,
+    Restart,
+    DecisionInquiry,
+    DecisionReply,
+)

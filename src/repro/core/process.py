@@ -1,0 +1,359 @@
+"""`CheckpointProcess` — a simulated process running the Leu-Bhargava daemon.
+
+This class glues together the substrate (:class:`repro.sim.node.Node`), the
+bookkeeping (:class:`~repro.core.labels.LabelLedger`,
+:class:`~repro.core.trees.TreeRegistry`,
+:class:`~repro.stable.checkpoint.CheckpointStore`) and the protocol mixins
+(procedures b1-b4 in :mod:`~repro.core.checkpoint_protocol`, b5-b8 in
+:mod:`~repro.core.rollback_protocol`, Section 6 in
+:mod:`~repro.core.recovery`).
+
+Suspension model (paper 3.5.2 comments):
+
+* a pending ``newchkpt`` suspends *sending* normal messages only — receives
+  and local computation continue;
+* membership in an unfinished rollback instance suspends *sending and
+  receiving*; incoming normal messages are discarded;
+* application sends issued while sending is suspended are queued in the
+  output queue and flushed on resume (introduction: "the process saves
+  outgoing messages in the output queue for later transmission");
+* a rollback clears the output queue (queued messages belong to the undone
+  computation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core import messages as M
+from repro.core.app import Application, CounterApp
+from repro.core.checkpoint_protocol import ChkptProtocolMixin
+from repro.core.labels import LabelLedger
+from repro.core.recovery import RecoveryMixin
+from repro.core.rollback_protocol import RollProtocolMixin
+from repro.core.trees import TreeRegistry
+from repro.net.message import Envelope, control, normal
+from repro.sim import trace as T
+from repro.sim.node import Node
+from repro.stable.checkpoint import CheckpointStore
+from repro.stable.storage import InMemoryStableStorage, StableStorage
+from repro.types import MessageId, ProcessId, SimTime, TreeId
+
+
+@dataclass
+class ProtocolConfig:
+    """Tunables for a :class:`CheckpointProcess`.
+
+    ``checkpoint_interval`` — period of the autonomous checkpoint timer
+    (condition b1); ``None`` disables the timer (tests and scripted scenarios
+    call :meth:`CheckpointProcess.initiate_checkpoint` directly).
+
+    ``failure_resilience`` — enable the Section 6 exception handlers (rules
+    1-6).  Off by default so the base algorithm can be studied in isolation.
+
+    ``ack_timeout`` / ``decision_timeout`` — how long a resilient process
+    waits on a peer before the failure handlers treat it as unresponsive;
+    only used when ``failure_resilience`` is on and complements the failure
+    detector (which is the primary trigger).
+
+    ``inquiry_retry_interval`` — how often a blocked process re-broadcasts a
+    rule-6 decision inquiry while no answer arrives.
+    """
+
+    checkpoint_interval: Optional[SimTime] = None
+    failure_resilience: bool = False
+    ack_timeout: SimTime = 30.0
+    decision_timeout: SimTime = 30.0
+    inquiry_retry_interval: SimTime = 10.0
+
+
+class CheckpointProcess(ChkptProtocolMixin, RollProtocolMixin, RecoveryMixin, Node):
+    """One process ``P_i`` plus its checkpoint/rollback daemon."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: Optional[ProtocolConfig] = None,
+        app: Optional[Application] = None,
+        storage: Optional[StableStorage] = None,
+    ):
+        super().__init__(pid)
+        self.config = config or ProtocolConfig()
+        self.app: Application = app or CounterApp(pid)
+        self.storage = storage or InMemoryStableStorage()
+        self.store = CheckpointStore(self.storage)
+        self.ledger = LabelLedger(pid)
+        self.trees = TreeRegistry()
+        self.chkpt_commit_set: set = set()
+        self.roll_restart_set: set = set()
+        self.output_queue: List[Tuple[ProcessId, Any]] = []
+        self.send_suspended = False   # pending newchkpt blocks normal sends
+        self.comm_suspended = False   # unfinished rollback blocks send+receive
+        # Decisions this process has observed, for Section 6 inquiries.
+        self.decisions_seen: Dict[TreeId, str] = {}
+        self._recovering = False
+        self._open_inquiries: Dict[TreeId, str] = {}
+        self._pending_spool: List[Envelope] = []
+        # Analysis-only archive of every committed checkpoint, in order.
+        self.committed_history: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Install the initial committed checkpoint and arm the b1 timer.
+
+        The birth checkpoint has sequence number 1 and the interval counter
+        starts there too, so the first interval's messages carry label 1 and
+        label 0 stays free as the "nothing received" sentinel (paper Fig. 2).
+        """
+        self.ledger.n = 1
+        initial = self.store.initialize(self.app.snapshot(), made_at=self.now)
+        initial.meta.update(self._ledger_manifest())
+        self.committed_history = [initial]
+        self._reset_checkpoint_timer()
+
+    def _ledger_manifest(self) -> Dict[str, Any]:
+        """Which live sends/receives the state being checkpointed reflects.
+
+        Stored in each checkpoint's ``meta`` purely for the analysis layer:
+        the C1/C2 checkers and the minimality theorems are verified against
+        these manifests (see :mod:`repro.analysis.consistency`).  The
+        protocol itself never reads them.
+        """
+        return {
+            "recv": sorted(
+                (r.src, r.msg_id.send_index) for r in self.ledger.live_receives()
+            ),
+            "sent": sorted(
+                (r.dst, r.msg_id.send_index) for r in self.ledger.live_sends()
+            ),
+        }
+
+    def _reset_checkpoint_timer(self) -> None:
+        """"After P_i makes a new checkpoint, its checkpoint timer is reset."""
+        if self.config.checkpoint_interval is None:
+            return
+        jitter = self.sim.rng.stream("ckpt-timer", self.node_id).uniform(0.0, 0.1)
+        self.set_timer(
+            "checkpoint",
+            self.config.checkpoint_interval + jitter,
+            self._checkpoint_timer_fired,
+        )
+
+    def _checkpoint_timer_fired(self) -> None:
+        self.initiate_checkpoint()
+        self._reset_checkpoint_timer()
+
+    # ------------------------------------------------------------------
+    # Identifiers
+    # ------------------------------------------------------------------
+    def _new_tree_id(self) -> TreeId:
+        return TreeId(self.node_id, self.sim.ids.next(("tree", self.node_id)))
+
+    def _new_msg_id(self) -> MessageId:
+        return MessageId(self.node_id, self.sim.ids.next(("msg", self.node_id)))
+
+    # ------------------------------------------------------------------
+    # Suspension bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def can_send_normal(self) -> bool:
+        return not (self.crashed or self.send_suspended or self.comm_suspended)
+
+    def _suspend_send(self) -> None:
+        if not self.send_suspended:
+            self.send_suspended = True
+            self.sim.trace.record(self.now, T.K_SUSPEND_SEND, pid=self.node_id)
+
+    def _resume_send(self) -> None:
+        if self.send_suspended:
+            self.send_suspended = False
+            self.sim.trace.record(self.now, T.K_RESUME_SEND, pid=self.node_id)
+            self._flush_output_queue()
+
+    def _suspend_comm(self) -> None:
+        if not self.comm_suspended:
+            self.comm_suspended = True
+            self.sim.trace.record(self.now, T.K_SUSPEND_ALL, pid=self.node_id)
+
+    def _resume_comm(self) -> None:
+        if self.comm_suspended:
+            self.comm_suspended = False
+            self.sim.trace.record(self.now, T.K_RESUME_ALL, pid=self.node_id)
+            self._flush_output_queue()
+            self._drain_pending_spool()
+
+    def _flush_output_queue(self) -> None:
+        if not self.can_send_normal:
+            return
+        queued, self.output_queue = self.output_queue, []
+        for dst, payload in queued:
+            self._transmit_normal(dst, payload)
+
+    # ------------------------------------------------------------------
+    # Normal-message plane (workload-facing API)
+    # ------------------------------------------------------------------
+    def send_app_message(self, dst: ProcessId, payload: Any) -> None:
+        """Application-level send; queued if sending is currently suspended."""
+        if self.crashed:
+            return
+        if self.can_send_normal:
+            self._transmit_normal(dst, payload)
+        else:
+            self.output_queue.append((dst, payload))
+
+    def local_step(self) -> None:
+        """One unit of local application computation (never suspended)."""
+        if not self.crashed:
+            self.app.local_step()
+
+    def _transmit_normal(self, dst: ProcessId, payload: Any) -> None:
+        msg_id = self._new_msg_id()
+        label = self.ledger.record_send(msg_id, dst)
+        body = M.NormalBody(
+            payload=payload,
+            markers=self._current_markers(),
+            incarnation=self._current_incarnation(),
+        )
+        self.sim.trace.record(
+            self.now, T.K_SEND, pid=self.node_id,
+            msg_id=msg_id, dst=dst, label=label, payload=payload,
+        )
+        self.send(normal(self.node_id, dst, msg_id, label, body))
+
+    def _current_markers(self) -> tuple:
+        """Markers piggybacked on normal sends (empty in the base algorithm;
+        the Section 3.5.3 extension overrides this)."""
+        return ()
+
+    def _current_incarnation(self) -> int:
+        """Sender incarnation stamp (always 0 here; Tamir-Séquin overrides)."""
+        return 0
+
+    def _believed_down(self, pid: ProcessId) -> bool:
+        """Is ``pid`` currently believed failed by the status monitor?
+
+        Only meaningful with failure resilience on; without it the base
+        algorithm assumes no failures and never consults the detector.
+        """
+        if not self.config.failure_resilience:
+            return False
+        detector = self.sim.failure_detector
+        return detector is not None and pid in detector.believed_down()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def on_envelope(self, envelope: Envelope) -> None:
+        if self.crashed:
+            return
+        if envelope.is_normal:
+            self._on_normal(envelope)
+        else:
+            self._dispatch_control(envelope.src, envelope.body)
+
+    def _on_normal(self, envelope: Envelope) -> None:
+        src, label, msg_id = envelope.src, envelope.label, envelope.msg_id
+        if self.comm_suspended:
+            # "The suspend statement causes all subsequent incoming messages
+            # to be discarded."
+            self.sim.trace.record(
+                self.now, T.K_DISCARD, pid=self.node_id,
+                msg_id=msg_id, src=src, label=label, reason="roll_suspended",
+            )
+            return
+        if self.ledger.should_discard(src, label):
+            # The sender undid this message before we ever consumed it.
+            self.sim.trace.record(
+                self.now, T.K_DISCARD, pid=self.node_id,
+                msg_id=msg_id, src=src, label=label, reason="undone_in_transit",
+            )
+            return
+        body: M.NormalBody = envelope.body
+        self._before_consume_normal(src, body)
+        self.ledger.record_receive(msg_id, src, label)
+        self.sim.trace.record(
+            self.now, T.K_RECEIVE, pid=self.node_id, msg_id=msg_id, src=src, label=label
+        )
+        self.app.handle_message(src, body.payload)
+
+    def _before_consume_normal(self, src: ProcessId, body: M.NormalBody) -> None:
+        """Extension hook: act on piggybacked markers before consuming."""
+
+    def _dispatch_control(self, src: ProcessId, body: Any) -> None:
+        self.sim.trace.record(
+            self.now, T.K_CTRL_RECEIVE, pid=self.node_id,
+            src=src, msg_type=body.kind, tree=getattr(body, "tree", None),
+        )
+        if isinstance(body, M.ChkptReq):
+            self._on_chkpt_req(src, body)
+        elif isinstance(body, M.ChkptAck):
+            self._on_chkpt_ack(src, body)
+        elif isinstance(body, M.ReadyToCommit):
+            self._on_ready_to_commit(src, body)
+        elif isinstance(body, M.Commit):
+            self._on_commit(src, body)
+        elif isinstance(body, M.Abort):
+            self._on_abort(src, body)
+        elif isinstance(body, M.RollReq):
+            self._on_roll_req(src, body)
+        elif isinstance(body, M.RollAck):
+            self._on_roll_ack(src, body)
+        elif isinstance(body, M.RollComplete):
+            self._on_roll_complete(src, body)
+        elif isinstance(body, M.Restart):
+            self._on_restart(src, body)
+        elif isinstance(body, M.DecisionInquiry):
+            self._on_decision_inquiry(src, body)
+        elif isinstance(body, M.DecisionReply):
+            self._on_decision_reply(src, body)
+
+    def _send_control(self, dst: ProcessId, body: Any) -> None:
+        fields = {"dst": dst, "msg_type": body.kind, "tree": getattr(body, "tree", None)}
+        if hasattr(body, "positive"):
+            fields["positive"] = body.positive
+        self.sim.trace.record(self.now, T.K_CTRL_SEND, pid=self.node_id, **fields)
+        # Decisions are also observed by spoolers so restarting processes can
+        # learn them (Section 6, rule 3).
+        if isinstance(body, (M.Commit, M.Abort, M.Restart)):
+            self.sim.network.observe_decision((body.kind, body.tree))
+        self.send(control(self.node_id, dst, body))
+
+    # ------------------------------------------------------------------
+    # Shared protocol helpers
+    # ------------------------------------------------------------------
+    def _remember_decision(self, tree_id: TreeId, decision: str) -> None:
+        """Record an observed instance decision for Section 6 inquiries.
+
+        With failure resilience on, the record is also persisted: a decision
+        a process applied to its stable checkpoints must survive its own
+        crash, or a recovering peer's inquiry could go unanswered forever
+        while the decided state lives on.
+        """
+        if tree_id is None or tree_id in self.decisions_seen:
+            return
+        self.decisions_seen[tree_id] = decision
+        if self.config.failure_resilience:
+            self.storage.put(
+                "decisions",
+                [
+                    [t.initiator, t.initiation_seq, d]
+                    for t, d in self.decisions_seen.items()
+                ],
+            )
+
+    def _load_decisions(self) -> Dict[TreeId, str]:
+        raw = self.storage.get("decisions", [])
+        return {TreeId(i, s): d for i, s, d in raw}
+
+    def _persist_commit_set(self) -> None:
+        """Keep chkpt_commit_set recoverable: rule 3 needs it after a crash."""
+        self.storage.put(
+            "commit_set", sorted((t.initiator, t.initiation_seq) for t in self.chkpt_commit_set)
+        )
+
+    def _load_commit_set(self) -> set:
+        raw = self.storage.get("commit_set", [])
+        return {TreeId(i, s) for i, s in raw}

@@ -1,0 +1,217 @@
+"""Per-instance tree state (paper Sections 3.1-3.3).
+
+Every global checkpointing or rollback instance a process participates in is
+tracked by one state object keyed by the tree timestamp ``t``.  A process may
+hold many simultaneously (that is the paper's concurrency), and may have a
+*different parent in each tree*: "a node may have more than one parent with
+respect to different trees ... the parent of p can be uniquely identified
+with respect to different trees."
+
+The objects here are pure bookkeeping — no message sending.  The protocol
+mixins in :mod:`repro.core.checkpoint_protocol` and
+:mod:`repro.core.rollback_protocol` drive them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ProtocolError
+from repro.types import ProcessId, TreeId
+
+
+@dataclass
+class ChkptTreeState:
+    """One *round* of a process's participation in checkpoint tree ``T(t)``.
+
+    Lifecycle: created on initiation (root) or on accepting a ``chkpt_req``
+    (child) → requests propagated (``pending_acks`` shrinks as acks arrive)
+    → true children respond ``ready_to_commit`` → this node responds to its
+    parent (or decides, if root) → decision propagated → ``closed``.
+
+    A process can participate in the same tree more than once: after its
+    shared uncommitted checkpoint commits (through any overlapping
+    instance), a later request for the same tree that references *newer*
+    traffic recruits it again with a fresh checkpoint.  Each recruitment is
+    a separate round with its own parent and its own child collection —
+    pooling them would let different rounds gate on each other and deadlock
+    (rounds are acyclic by creation order; a pooled state is not).  Older,
+    still-collecting rounds hang off ``older``; the registry always maps the
+    tree id to the newest round.
+    """
+
+    tree: TreeId
+    parent: Optional[ProcessId]  # None iff this round is the root's
+    pending_acks: Set[ProcessId] = field(default_factory=set)
+    true_children: Set[ProcessId] = field(default_factory=set)
+    ready_children: Set[ProcessId] = field(default_factory=set)
+    responded: bool = False  # ready sent to parent / root decision taken
+    decision: Optional[str] = None  # "commit" | "abort" once known locally
+    closed: bool = False
+    older: Optional["ChkptTreeState"] = None  # previous round, if still open
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def chain(self) -> List["ChkptTreeState"]:
+        """All rounds, oldest first (used for FIFO ack/ready crediting)."""
+        rounds: List["ChkptTreeState"] = []
+        node: Optional["ChkptTreeState"] = self
+        while node is not None:
+            rounds.append(node)
+            node = node.older
+        rounds.reverse()
+        return rounds
+
+    def record_ack(self, child: ProcessId, positive: bool) -> None:
+        """Process a (pos|neg)_ack from a potential child.
+
+        Duplicate and late acks are tolerated silently: on a non-FIFO
+        channel a child's ``ready_to_commit`` can overtake its ``pos_ack``,
+        and the re-issued rollback notices (see ``_renotify_undone_send``)
+        legitimately produce second acknowledgements for the same tree.
+        """
+        if child not in self.pending_acks:
+            return
+        self.pending_acks.discard(child)
+        if positive:
+            self.true_children.add(child)
+
+    def record_ready(self, child: ProcessId) -> None:
+        """Process a ready_to_commit from a true child."""
+        # The ack and the ready can race on a non-FIFO network: accept the
+        # ready even if the pos_ack has not arrived yet, and count the child
+        # as true.
+        # A ready may overtake the pos_ack, or come from a child recruited
+        # by a re-issued request after its first (negative) answer; a node
+        # that sends us ready_to_commit considers itself our child, so
+        # believe it.
+        self.pending_acks.discard(child)
+        self.true_children.add(child)
+        self.ready_children.add(child)
+
+    @property
+    def subtree_ready(self) -> bool:
+        """b3's invocation condition: all acks in and all true children ready."""
+        return not self.pending_acks and self.ready_children >= self.true_children
+
+    def drop_child(self, child: ProcessId) -> None:
+        """Remove a (potential or true) child — recovery rules 1/2 support."""
+        self.pending_acks.discard(child)
+        self.true_children.discard(child)
+        self.ready_children.discard(child)
+
+
+@dataclass
+class RollTreeState:
+    """A process's view of one rollback tree ``T(t)``.
+
+    Lifecycle mirrors the checkpoint tree: created on initiation or on
+    accepting a ``roll_req`` → requests propagated → true children send
+    ``roll_complete`` → this node completes to its parent (or, if root,
+    issues ``restart``) → ``closed``.
+    """
+
+    tree: TreeId
+    parent: Optional[ProcessId]
+    pending_acks: Set[ProcessId] = field(default_factory=set)
+    true_children: Set[ProcessId] = field(default_factory=set)
+    complete_children: Set[ProcessId] = field(default_factory=set)
+    responded: bool = False  # roll_complete sent to parent / root restarted
+    restarted: bool = False
+    closed: bool = False
+    # Rule 5: children of a failed rollback initiator act as substitutes.
+    substitute: bool = False
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def record_ack(self, child: ProcessId, positive: bool) -> None:
+        """Duplicate/late acks tolerated — see ChkptTreeState.record_ack."""
+        if child not in self.pending_acks:
+            return
+        self.pending_acks.discard(child)
+        if positive:
+            self.true_children.add(child)
+
+    def record_complete(self, child: ProcessId) -> None:
+        # Mirrors ChkptTreeState.record_ready: a node completing to us
+        # considers itself our child (possibly recruited by a re-issued
+        # rollback notice after a first negative answer) — believe it.
+        self.pending_acks.discard(child)
+        self.true_children.add(child)
+        self.complete_children.add(child)
+
+    @property
+    def subtree_complete(self) -> bool:
+        """b7's invocation condition for this node's subtree."""
+        return not self.pending_acks and self.complete_children >= self.true_children
+
+    def drop_child(self, child: ProcessId) -> None:
+        self.pending_acks.discard(child)
+        self.true_children.discard(child)
+        self.complete_children.discard(child)
+
+
+class TreeRegistry:
+    """All instance states of one process, keyed by tree timestamp."""
+
+    def __init__(self) -> None:
+        self.chkpt: Dict[TreeId, ChkptTreeState] = {}
+        self.roll: Dict[TreeId, RollTreeState] = {}
+
+    def chkpt_member(self, tree: TreeId) -> bool:
+        """"P_i has been included in the same tree T(t)" for checkpoints."""
+        return tree in self.chkpt
+
+    def roll_member(self, tree: TreeId) -> bool:
+        return tree in self.roll
+
+    def open_chkpt(self, tree: TreeId, parent: Optional[ProcessId]) -> ChkptTreeState:
+        if tree in self.chkpt:
+            raise ProtocolError(f"already a member of checkpoint tree {tree}")
+        state = ChkptTreeState(tree=tree, parent=parent)
+        self.chkpt[tree] = state
+        return state
+
+    def open_chkpt_round(self, tree: TreeId, parent: Optional[ProcessId]) -> ChkptTreeState:
+        """Open a new participation round for ``tree``.
+
+        A previous round that is still collecting stays reachable through
+        ``older`` so its obligations (acks to credit, a ready still owed to
+        its parent, a decision to forward to its children) are not lost;
+        a previous round that already closed is simply dropped.
+        """
+        previous = self.chkpt.pop(tree, None)
+        state = ChkptTreeState(tree=tree, parent=parent)
+        if previous is not None and not previous.closed:
+            state.older = previous
+        self.chkpt[tree] = state
+        return state
+
+    def chkpt_rounds(self, tree: TreeId) -> List[ChkptTreeState]:
+        """All open-or-closed rounds for ``tree``, oldest first."""
+        newest = self.chkpt.get(tree)
+        return newest.chain() if newest is not None else []
+
+    def all_chkpt_rounds(self) -> List[ChkptTreeState]:
+        """Every round of every checkpoint tree (for the failure handlers)."""
+        rounds: List[ChkptTreeState] = []
+        for newest in self.chkpt.values():
+            rounds.extend(newest.chain())
+        return rounds
+
+    def open_roll(self, tree: TreeId, parent: Optional[ProcessId]) -> RollTreeState:
+        if tree in self.roll:
+            raise ProtocolError(f"already a member of rollback tree {tree}")
+        state = RollTreeState(tree=tree, parent=parent)
+        self.roll[tree] = state
+        return state
+
+    def clear_volatile(self) -> None:
+        """Crash support: tree membership is volatile and dies with the node."""
+        self.chkpt.clear()
+        self.roll.clear()

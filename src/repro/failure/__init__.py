@@ -1,0 +1,7 @@
+"""Failure model: detector, injector, and weighted-voting partitions."""
+
+from repro.failure.detector import FailureDetector
+from repro.failure.injector import FailureInjector
+from repro.failure.votes import VoteRegistry
+
+__all__ = ["FailureDetector", "FailureInjector", "VoteRegistry"]

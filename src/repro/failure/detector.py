@@ -1,0 +1,82 @@
+"""Failure detector (paper Section 6, assumption c).
+
+"Operational processes are informed of process failures in finite time."
+
+The detector is an oracle attached to the simulation: when a crash or
+recovery happens it schedules a notification to every operational node after
+a configurable detection latency.  Nodes receive it through
+``Node.on_failure_notice`` / ``Node.on_recovery_notice``.
+
+Nodes that are themselves down when the notification fires are skipped; a
+recovering process instead learns the current status snapshot via
+:meth:`status_snapshot` during its restart procedure (the paper's monitors
+[2, 9, 22] provide the same).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Set
+
+from repro.sim.event import PRIORITY_TIMER
+from repro.types import ProcessId, SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulation import Simulation
+
+
+class FailureDetector:
+    """Perfect failure detector with bounded detection latency."""
+
+    def __init__(self, sim: "Simulation", detection_latency: SimTime = 1.0):
+        self.sim = sim
+        self.detection_latency = detection_latency
+        self._known_down: Set[ProcessId] = set()
+        sim.failure_detector = self
+
+    # ------------------------------------------------------------------
+    # Reports from the simulation
+    # ------------------------------------------------------------------
+    def report_crash(self, pid: ProcessId) -> None:
+        """Called by ``Simulation.crash``; fan out notices after the latency."""
+        self._known_down.add(pid)
+        self.sim.scheduler.after(
+            self.detection_latency,
+            lambda: self._notify_crash(pid),
+            priority=PRIORITY_TIMER,
+            label=f"detect crash P{pid}",
+        )
+
+    def report_recovery(self, pid: ProcessId) -> None:
+        """Called by ``Simulation.recover``; fan out notices after the latency."""
+        self._known_down.discard(pid)
+        self.sim.scheduler.after(
+            self.detection_latency,
+            lambda: self._notify_recovery(pid),
+            priority=PRIORITY_TIMER,
+            label=f"detect recovery P{pid}",
+        )
+
+    def _notify_crash(self, pid: ProcessId) -> None:
+        if self.sim.is_alive(pid):
+            return  # raced with a recovery; the recovery notice supersedes
+        for other in self.sim.process_ids:
+            if other != pid and self.sim.is_alive(other):
+                self.sim.nodes[other].on_failure_notice(pid)
+
+    def _notify_recovery(self, pid: ProcessId) -> None:
+        if not self.sim.is_alive(pid):
+            return  # crashed again before the notice fired
+        for other in self.sim.process_ids:
+            if other != pid and self.sim.is_alive(other):
+                self.sim.nodes[other].on_recovery_notice(pid)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def status_snapshot(self) -> Dict[ProcessId, bool]:
+        """Instantaneous up/down view (True = operational)."""
+        return {pid: self.sim.is_alive(pid) for pid in self.sim.process_ids}
+
+    def believed_down(self) -> Set[ProcessId]:
+        """Processes currently believed failed (reported, not yet recovered)."""
+        return set(self._known_down)

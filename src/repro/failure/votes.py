@@ -1,0 +1,103 @@
+"""Weighted voting and majority-partition determination (paper Section 6).
+
+The paper handles network partitioning pessimistically: processes in a
+*minor* partition (less than half the total votes) are regarded as failed;
+a *major* partition (more than half) stays operational.  When a major
+partition splits again and no fragment holds an absolute majority, a new
+major partition "can be determined on a relative basis" — a fragment that
+holds more than half of the *previous major partition's* votes becomes the
+new major partition (references [3, 5]).
+
+:class:`VoteRegistry` implements both rules.  Ties (exactly half) are never a
+majority, matching the strict "more than one half" wording.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.errors import ProtocolError
+from repro.types import ProcessId
+
+
+class VoteRegistry:
+    """Vote assignment plus static and relative majority determination."""
+
+    def __init__(self, votes: Dict[ProcessId, int]):
+        if not votes:
+            raise ProtocolError("empty vote assignment")
+        for pid, weight in votes.items():
+            if weight <= 0:
+                raise ProtocolError(f"P{pid} has non-positive vote weight {weight}")
+        self.votes = dict(votes)
+        # The reference population against which "relative" majorities are
+        # judged.  Starts as the full system; shrinks as majors split.
+        self._current_major: FrozenSet[ProcessId] = frozenset(votes)
+
+    @classmethod
+    def uniform(cls, pids: Iterable[ProcessId]) -> "VoteRegistry":
+        """One vote per process — the common unweighted configuration."""
+        return cls({pid: 1 for pid in pids})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total_votes(self) -> int:
+        return sum(self.votes.values())
+
+    @property
+    def current_major(self) -> FrozenSet[ProcessId]:
+        """The membership of the partition currently regarded as major."""
+        return self._current_major
+
+    def weight(self, group: Iterable[ProcessId]) -> int:
+        """Total votes held by ``group`` (unknown processes vote 0)."""
+        return sum(self.votes.get(pid, 0) for pid in group)
+
+    def is_absolute_majority(self, group: Iterable[ProcessId]) -> bool:
+        """Strictly more than half of *all* votes in the system."""
+        return 2 * self.weight(group) > self.total_votes
+
+    def is_relative_majority(self, group: Iterable[ProcessId]) -> bool:
+        """Strictly more than half of the current major partition's votes."""
+        reference = self.weight(self._current_major)
+        members = set(group) & self._current_major
+        return 2 * self.weight(members) > reference
+
+    # ------------------------------------------------------------------
+    # Partition-event processing
+    # ------------------------------------------------------------------
+    def classify(self, groups: Iterable[Iterable[ProcessId]]) -> Dict[FrozenSet[ProcessId], str]:
+        """Label each partition group ``"major"`` or ``"minor"``.
+
+        At most one group can be major.  A group is major if it holds an
+        absolute majority, or — when no group does — a relative majority of
+        the previous major partition.  On determining a new major, the
+        registry updates its reference population, implementing the paper's
+        "a partition that splits from a major partition becomes a new major
+        partition if it contains more than one half of the total votes in the
+        previous major partition."
+        """
+        frozen = [frozenset(g) for g in groups]
+        labels: Dict[FrozenSet[ProcessId], str] = {g: "minor" for g in frozen}
+
+        major: Optional[FrozenSet[ProcessId]] = None
+        for group in frozen:
+            if self.is_absolute_majority(group):
+                major = group
+                break
+        if major is None:
+            for group in frozen:
+                if self.is_relative_majority(group):
+                    major = group
+                    break
+
+        if major is not None:
+            labels[major] = "major"
+            self._current_major = major
+        return labels
+
+    def on_merge(self, merged: Iterable[ProcessId]) -> None:
+        """Partitions healed: the merged population becomes the reference."""
+        self._current_major = frozenset(merged)

@@ -1,0 +1,33 @@
+"""Simulated network: envelopes, delay models, channels, routing, spooling."""
+
+from repro.net.channel import FifoChannel, NonFifoChannel
+from repro.net.delay import (
+    AdversarialReorderDelay,
+    DelayModel,
+    ExponentialDelay,
+    FixedDelay,
+    LossyDelay,
+    UniformDelay,
+)
+from repro.net.message import CONTROL, NORMAL, Envelope, control, normal
+from repro.net.network import Network
+from repro.net.spooler import SpoolerGroup, SpoolerReplica
+
+__all__ = [
+    "AdversarialReorderDelay",
+    "CONTROL",
+    "DelayModel",
+    "Envelope",
+    "ExponentialDelay",
+    "FifoChannel",
+    "FixedDelay",
+    "LossyDelay",
+    "NORMAL",
+    "Network",
+    "NonFifoChannel",
+    "SpoolerGroup",
+    "SpoolerReplica",
+    "UniformDelay",
+    "control",
+    "normal",
+]

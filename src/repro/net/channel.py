@@ -1,0 +1,61 @@
+"""Channel ordering disciplines.
+
+A channel policy decides *when* a message handed to the network is delivered,
+given a raw transit delay from the :class:`~repro.net.delay.DelayModel`:
+
+* :class:`NonFifoChannel` — deliver after the raw delay; messages freely
+  overtake each other.  This is the paper's channel model.
+* :class:`FifoChannel` — per ``(src, dst)`` pair, clamp each delivery to occur
+  strictly after the previous one, preserving send order.  Used by the
+  Koo-Toueg and Chandy-Lamport baselines, which require FIFO.
+
+Both are stateless apart from the FIFO clamp; partition/crash filtering
+happens in :class:`repro.net.network.Network`, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.types import ProcessId, SimTime
+
+
+class NonFifoChannel:
+    """Messages are delivered after their raw delay; reordering allowed."""
+
+    fifo = False
+
+    def delivery_time(self, src: ProcessId, dst: ProcessId, send_time: SimTime, delay: SimTime) -> SimTime:
+        return send_time + delay
+
+    def reset(self) -> None:
+        """No per-channel state to clear."""
+
+
+class FifoChannel:
+    """Per-channel delivery order equals send order.
+
+    Implemented by remembering the last delivery time per directed channel
+    and clamping each new delivery to be at least ``epsilon`` later.  The
+    clamp models a FIFO transport's head-of-line blocking: a fast message
+    behind a slow one waits.
+    """
+
+    fifo = True
+
+    def __init__(self, epsilon: SimTime = 1e-9):
+        self.epsilon = epsilon
+        self._last_delivery: Dict[Tuple[ProcessId, ProcessId], SimTime] = {}
+
+    def delivery_time(self, src: ProcessId, dst: ProcessId, send_time: SimTime, delay: SimTime) -> SimTime:
+        key = (src, dst)
+        arrival = send_time + delay
+        previous = self._last_delivery.get(key)
+        if previous is not None and arrival <= previous:
+            arrival = previous + self.epsilon
+        self._last_delivery[key] = arrival
+        return arrival
+
+    def reset(self) -> None:
+        """Forget delivery history (used between independent runs)."""
+        self._last_delivery.clear()

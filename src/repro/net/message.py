@@ -1,0 +1,73 @@
+"""Message envelopes carried by the simulated network.
+
+The paper distinguishes *normal messages* (application traffic, labelled with
+the sender's interval counter ``n_i``) from *control messages* (protocol
+traffic, stamped with a tree timestamp).  The :class:`Envelope` carries either
+kind; the ``category`` field selects which, and the protocol-level body lives
+in ``body``.
+
+Envelopes are value objects: the network copies nothing, so senders must not
+mutate a body after sending (all protocol bodies are frozen dataclasses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.types import Label, MessageId, ProcessId, SimTime
+
+NORMAL = "normal"
+CONTROL = "control"
+
+
+@dataclass
+class Envelope:
+    """A single message in flight from ``src`` to ``dst``.
+
+    ``msg_id`` and ``label`` are set for normal messages only; control
+    messages are identified by their body (which carries the tree timestamp).
+    ``send_time`` is stamped by the network on transmit; ``deliver_time`` on
+    delivery (both for analysis only — protocols never read clocks).
+    """
+
+    src: ProcessId
+    dst: ProcessId
+    category: str
+    body: Any
+    msg_id: Optional[MessageId] = None
+    label: Optional[Label] = None
+    send_time: SimTime = field(default=0.0)
+    deliver_time: SimTime = field(default=0.0)
+
+    @property
+    def is_normal(self) -> bool:
+        return self.category == NORMAL
+
+    @property
+    def is_control(self) -> bool:
+        return self.category == CONTROL
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_normal:
+            return (
+                f"<normal {self.msg_id} P{self.src}->P{self.dst} "
+                f"label={self.label} body={self.body!r}>"
+            )
+        return f"<control P{self.src}->P{self.dst} {self.body!r}>"
+
+
+def normal(
+    src: ProcessId,
+    dst: ProcessId,
+    msg_id: MessageId,
+    label: Label,
+    body: Any = None,
+) -> Envelope:
+    """Build a normal-message envelope (application payload in ``body``)."""
+    return Envelope(src=src, dst=dst, category=NORMAL, body=body, msg_id=msg_id, label=label)
+
+
+def control(src: ProcessId, dst: ProcessId, body: Any) -> Envelope:
+    """Build a control-message envelope (protocol message in ``body``)."""
+    return Envelope(src=src, dst=dst, category=CONTROL, body=body)

@@ -1,0 +1,208 @@
+"""The simulated network: routing, partitions, crash filtering, spooling.
+
+The :class:`Network` sits between nodes and the scheduler.  On
+:meth:`transmit` it samples a transit delay, applies the channel ordering
+policy, and schedules delivery.  At delivery time it re-checks the world:
+
+* destination crashed → the envelope is redirected to the destination's
+  spoolers (if configured) or dropped;
+* source and destination in different partitions → dropped (an end-to-end
+  transport cannot cross a partition; the protocols' partition handling
+  takes over);
+* otherwise → delivered via ``node.on_envelope``.
+
+The network also owns the global message counters used by the Section 5
+comparison benchmarks (normal/control messages sent, drops, spools).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set
+
+from repro.errors import NetworkError
+from repro.net.channel import NonFifoChannel
+from repro.net.delay import DelayModel, UniformDelay
+from repro.net.message import CONTROL, Envelope
+from repro.net.spooler import SpoolerGroup
+from repro.sim import trace as T
+from repro.sim.event import PRIORITY_NORMAL
+from repro.types import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulation import Simulation
+
+
+class Network:
+    """Routes envelopes between the nodes of one simulation."""
+
+    def __init__(
+        self,
+        delay_model: Optional[DelayModel] = None,
+        channel: Optional[object] = None,
+    ):
+        self.delay_model: DelayModel = delay_model or UniformDelay()
+        self.channel = channel or NonFifoChannel()
+        self._sim: Optional["Simulation"] = None
+        self._partition: Optional[List[FrozenSet[ProcessId]]] = None
+        self._spoolers: Dict[ProcessId, SpoolerGroup] = {}
+        # Counters for the comparison benchmarks.
+        self.normal_sent = 0
+        self.control_sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.spooled = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, sim: "Simulation") -> None:
+        if self._sim is not None:
+            raise NetworkError("network already bound to a simulation")
+        self._sim = sim
+
+    @property
+    def sim(self) -> "Simulation":
+        if self._sim is None:
+            raise NetworkError("network not bound to a simulation")
+        return self._sim
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, groups: List[Set[ProcessId]]) -> None:
+        """Split the network into ``groups``; cross-group traffic is dropped.
+
+        Every process must appear in exactly one group.
+        """
+        flattened = [pid for group in groups for pid in group]
+        if len(flattened) != len(set(flattened)):
+            raise NetworkError("partition groups overlap")
+        missing = set(self.sim.nodes) - set(flattened)
+        if missing:
+            raise NetworkError(f"partition omits processes {sorted(missing)}")
+        self._partition = [frozenset(g) for g in groups]
+        self.sim.trace.record(self.sim.now, T.K_PARTITION, groups=[sorted(g) for g in groups])
+
+    def merge(self) -> None:
+        """Heal all partitions: every process can reach every other again."""
+        self._partition = None
+        self.sim.trace.record(self.sim.now, T.K_MERGE, groups=[sorted(self.sim.nodes)])
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def group_of(self, pid: ProcessId) -> FrozenSet[ProcessId]:
+        """The partition group containing ``pid`` (all processes if healed)."""
+        if self._partition is None:
+            return frozenset(self.sim.nodes)
+        for group in self._partition:
+            if pid in group:
+                return group
+        raise NetworkError(f"process {pid} not in any partition group")
+
+    def reachable(self, src: ProcessId, dst: ProcessId) -> bool:
+        """True if ``src`` and ``dst`` are currently in the same partition."""
+        if self._partition is None:
+            return True
+        return dst in self.group_of(src)
+
+    # ------------------------------------------------------------------
+    # Spoolers
+    # ------------------------------------------------------------------
+    def install_spoolers(self, owner: ProcessId, hosts: List[ProcessId]) -> SpoolerGroup:
+        """Create the replicated spooler group for ``owner`` on ``hosts``."""
+        group = SpoolerGroup(owner, hosts)
+        self._spoolers[owner] = group
+        return group
+
+    def spooler_for(self, owner: ProcessId) -> Optional[SpoolerGroup]:
+        return self._spoolers.get(owner)
+
+    def observe_decision(self, decision: object) -> None:
+        """Let every spooler group record a broadcast protocol decision.
+
+        Recovery rule 3 needs restarting processes to learn commit/abort and
+        restart decisions that were propagated while they were down; spoolers
+        are the paper's mechanism for that.
+        """
+        alive = self.sim.is_alive
+        for group in self._spoolers.values():
+            group.observe_decision(decision, alive)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, envelope: Envelope) -> None:
+        """Accept an envelope from ``envelope.src`` and schedule its delivery."""
+        sim = self.sim
+        if envelope.dst not in sim.nodes:
+            raise NetworkError(f"unknown destination P{envelope.dst}")
+        envelope.send_time = sim.now
+
+        if envelope.category == CONTROL:
+            self.control_sent += 1
+        else:
+            self.normal_sent += 1
+
+        delay = self.delay_model.sample(sim.rng, envelope.src, envelope.dst)
+        deliver_at = self.channel.delivery_time(envelope.src, envelope.dst, sim.now, delay)
+        priority = getattr(envelope.body, "priority", PRIORITY_NORMAL)
+        sim.scheduler.at(
+            deliver_at,
+            lambda: self._deliver(envelope),
+            priority=priority,
+            label=f"deliver P{envelope.src}->P{envelope.dst}",
+        )
+
+    def _deliver(self, envelope: Envelope) -> None:
+        sim = self.sim
+        envelope.deliver_time = sim.now
+        dst_node = sim.nodes[envelope.dst]
+
+        if not self.reachable(envelope.src, envelope.dst):
+            self.dropped += 1
+            sim.trace.record(
+                sim.now,
+                T.K_DISCARD,
+                pid=envelope.dst,
+                msg_id=envelope.msg_id,
+                src=envelope.src,
+                label=envelope.label,
+                reason="partitioned",
+            )
+            return
+
+        if dst_node.crashed:
+            spooler = self._spoolers.get(envelope.dst)
+            if spooler is not None and spooler.spool(envelope, sim.is_alive):
+                self.spooled += 1
+            else:
+                self.dropped += 1
+                sim.trace.record(
+                    sim.now,
+                    T.K_DISCARD,
+                    pid=envelope.dst,
+                    msg_id=envelope.msg_id,
+                    src=envelope.src,
+                    label=envelope.label,
+                    reason="crashed",
+                )
+            return
+
+        self.delivered += 1
+        dst_node.on_envelope(envelope)
+
+    def redeliver(self, envelope: Envelope) -> None:
+        """Deliver a spooled envelope to its (now recovered) destination.
+
+        Bypasses delay sampling: the spool drain is local to the recovering
+        process.
+        """
+        sim = self.sim
+        dst_node = sim.nodes[envelope.dst]
+        if dst_node.crashed:
+            raise NetworkError(f"cannot redeliver to crashed P{envelope.dst}")
+        envelope.deliver_time = sim.now
+        self.delivered += 1
+        dst_node.on_envelope(envelope)

@@ -1,0 +1,61 @@
+"""Events for the discrete-event simulation kernel.
+
+An :class:`Event` is an opaque callback scheduled at a simulation time.  The
+kernel orders events by ``(time, priority, seq)``:
+
+* ``time`` — simulation time of the event;
+* ``priority`` — smaller runs first among same-time events.  The paper gives
+  rollback procedures (b5, b6) the *highest* priority; the protocol layer maps
+  that to :data:`PRIORITY_ROLLBACK` < :data:`PRIORITY_CHECKPOINT` <
+  :data:`PRIORITY_NORMAL`;
+* ``seq`` — global insertion counter, guaranteeing deterministic FIFO
+  tie-breaking for equal ``(time, priority)``.
+
+Events can be *cancelled*; a cancelled event stays in the heap but is skipped
+when popped (standard lazy deletion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.types import SimTime
+
+PRIORITY_ROLLBACK = 0
+PRIORITY_CHECKPOINT = 1
+PRIORITY_NORMAL = 2
+PRIORITY_TIMER = 3
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback, ordered by ``(time, priority, seq)``."""
+
+    time: SimTime
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Run the event's action.  The scheduler calls this exactly once."""
+        self.action()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = " cancelled" if self.cancelled else ""
+        label = self.label or getattr(self.action, "__name__", "action")
+        return f"<Event t={self.time:.6f} prio={self.priority} {label}{status}>"
+
+
+def describe(action: Any) -> str:
+    """Best-effort label for an event action, for traces and debugging."""
+    name = getattr(action, "__name__", None)
+    if name:
+        return name
+    return type(action).__name__

@@ -1,0 +1,50 @@
+"""Deterministic random-number streams for reproducible simulations.
+
+Every stochastic decision in the simulator (message delays, workload send
+times, failure injection points) draws from a :class:`Rng` stream derived from
+a single root seed.  Two runs with the same seed produce byte-identical
+traces, which is what makes the figure reproductions and property-based tests
+debuggable.
+
+Streams are *named*: ``rng.stream("delay", 3)`` always yields the same
+sub-generator for the same root seed, regardless of creation order.  That
+isolation means adding a new consumer of randomness does not perturb the draws
+seen by existing consumers — a classic simulation-reproducibility trap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Dict, Tuple
+
+
+class Rng:
+    """A tree of named, independently seeded :class:`random.Random` streams."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._streams: Dict[Tuple[Any, ...], random.Random] = {}
+
+    def stream(self, *name: Any) -> random.Random:
+        """Return the generator for stream ``name``, creating it on first use.
+
+        The stream seed is a stable hash of ``(root seed, *name)`` so the
+        mapping survives process restarts and is independent of call order.
+        """
+        key = tuple(name)
+        generator = self._streams.get(key)
+        if generator is None:
+            digest = hashlib.sha256(repr((self.seed, key)).encode()).digest()
+            generator = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[key] = generator
+        return generator
+
+    def spawn(self, *name: Any) -> "Rng":
+        """Return a child :class:`Rng` rooted at a derived seed.
+
+        Useful when a component wants to hand out its own named streams
+        without risk of colliding with the parent's stream names.
+        """
+        digest = hashlib.sha256(repr((self.seed, "spawn", name)).encode()).digest()
+        return Rng(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,176 @@
+"""Structured execution traces.
+
+Every observable action in a simulation — normal/control message sends and
+receives, checkpoint lifecycle transitions, rollbacks, crashes, partitions —
+is appended to a :class:`Trace` as a :class:`TraceEvent`.  The analysis
+package (happens-before, C1/C2 consistency, minimality, domino distance) is
+written entirely against traces, so the protocol implementations stay free of
+measurement code.
+
+Record kinds are plain strings (see the ``K_*`` constants) rather than an
+enum: benchmarks and tests grep traces constantly and string kinds keep that
+frictionless; the constants prevent typos at the production sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.types import ProcessId, SimTime
+
+# Normal (application) message lifecycle.
+K_SEND = "send"                    # pid, msg_id, dst, label, payload
+K_RECEIVE = "receive"              # pid, msg_id, src, label
+K_DISCARD = "discard"              # pid, msg_id, src, label, reason
+K_UNDO_SEND = "undo_send"          # pid, msg_id, dst, label
+K_UNDO_RECEIVE = "undo_receive"    # pid, msg_id, src, label
+
+# Control-plane message lifecycle.
+K_CTRL_SEND = "ctrl_send"          # pid, dst, msg_type, tree
+K_CTRL_RECEIVE = "ctrl_receive"    # pid, src, msg_type, tree
+
+# Checkpoint lifecycle.
+K_CHKPT_TENTATIVE = "chkpt_tentative"   # pid, seq, tree
+K_CHKPT_COMMIT = "chkpt_commit"         # pid, seq, tree
+K_CHKPT_ABORT = "chkpt_abort"           # pid, seq, tree
+
+# Rollback lifecycle.
+K_ROLLBACK = "rollback"            # pid, to_seq, tree, target ("newchkpt"/"oldchkpt")
+K_RESTART = "restart"              # pid, new_interval
+
+# Suspension bookkeeping (for blocking-time metrics).
+K_SUSPEND_SEND = "suspend_send"    # pid
+K_RESUME_SEND = "resume_send"      # pid
+K_SUSPEND_ALL = "suspend_all"      # pid (send + receive)
+K_RESUME_ALL = "resume_all"        # pid
+
+# Instance lifecycle (initiations and terminal outcomes, per tree).
+K_INSTANCE_START = "instance_start"        # pid, tree, instance ("checkpoint"/"rollback")
+K_INSTANCE_COMMIT = "instance_commit"      # pid, tree
+K_INSTANCE_ABORT = "instance_abort"        # pid, tree
+K_INSTANCE_REJECTED = "instance_rejected"  # pid, tree (baseline algorithms)
+
+# Environment events.
+K_CRASH = "crash"                  # pid
+K_RECOVER = "recover"              # pid
+K_PARTITION = "partition"          # groups
+K_MERGE = "merge"                  # groups
+
+
+@dataclass
+class TraceEvent:
+    """A single trace record.
+
+    ``time`` and ``index`` order the record globally; ``kind`` selects the
+    schema of ``fields`` (documented next to each ``K_*`` constant).
+    """
+
+    index: int
+    time: SimTime
+    kind: str
+    pid: Optional[ProcessId]
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getattr__(self, item: str) -> Any:
+        # Convenience: ``ev.msg_id`` instead of ``ev.fields["msg_id"]``.
+        try:
+            return self.fields[item]
+        except KeyError:
+            raise AttributeError(item) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pid = f"P{self.pid}" if self.pid is not None else "-"
+        extras = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.index}@{self.time:.4f}] {pid} {self.kind} {extras}"
+
+
+class Trace:
+    """An append-only log of :class:`TraceEvent` records with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(
+        self,
+        time: SimTime,
+        kind: str,
+        pid: Optional[ProcessId] = None,
+        **fields: Any,
+    ) -> TraceEvent:
+        """Append a record and return it."""
+        event = TraceEvent(index=len(self._events), time=time, kind=kind, pid=pid, fields=fields)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self._events[index]
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The underlying record list (treat as read-only)."""
+        return self._events
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        """All records whose kind is one of ``kinds``, in order."""
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def for_process(self, pid: ProcessId, *kinds: str) -> List[TraceEvent]:
+        """Records of ``pid``, optionally restricted to ``kinds``."""
+        wanted = set(kinds) if kinds else None
+        return [
+            e
+            for e in self._events
+            if e.pid == pid and (wanted is None or e.kind in wanted)
+        ]
+
+    def where(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
+        """Records satisfying an arbitrary predicate, in order."""
+        return [e for e in self._events if predicate(e)]
+
+    def last(self, kind: str, pid: Optional[ProcessId] = None) -> Optional[TraceEvent]:
+        """Most recent record of ``kind`` (for ``pid`` if given), or None."""
+        for event in reversed(self._events):
+            if event.kind == kind and (pid is None or event.pid == pid):
+                return event
+        return None
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of the trace (for debugging and docs)."""
+        events = self._events if limit is None else self._events[:limit]
+        return "\n".join(repr(e) for e in events)
+
+    def to_jsonl(self, path: str) -> int:
+        """Export the trace as JSON lines for offline analysis.
+
+        Non-JSON field values (tree timestamps, message ids) are stringified
+        with their readable reprs.  Returns the number of records written.
+        """
+        import json
+
+        def encode(value: Any) -> Any:
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                return value
+            if isinstance(value, (list, tuple)):
+                return [encode(v) for v in value]
+            if isinstance(value, dict):
+                return {str(k): encode(v) for k, v in value.items()}
+            return str(value)
+
+        with open(path, "w") as handle:
+            for event in self._events:
+                handle.write(json.dumps({
+                    "index": event.index,
+                    "time": event.time,
+                    "kind": event.kind,
+                    "pid": event.pid,
+                    **{k: encode(v) for k, v in event.fields.items()},
+                }) + "\n")
+        return len(self._events)

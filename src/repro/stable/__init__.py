@@ -1,0 +1,16 @@
+"""Stable storage and the oldchkpt/newchkpt checkpoint slots."""
+
+from repro.stable.checkpoint import CheckpointStore, MultiCheckpointStore
+from repro.stable.storage import (
+    FileStableStorage,
+    InMemoryStableStorage,
+    StableStorage,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "FileStableStorage",
+    "InMemoryStableStorage",
+    "MultiCheckpointStore",
+    "StableStorage",
+]

@@ -1,0 +1,200 @@
+"""The ``oldchkpt`` / ``newchkpt`` checkpoint slot pair (paper Section 3).
+
+"Each process saves at most two most recent checkpoints (called *oldchkpt*
+and *newchkpt*) in stable storage.  *newchkpt* is an uncommitted checkpoint.
+*oldchkpt* represents the latest version of the committed checkpoint."
+
+:class:`CheckpointStore` wraps a :class:`~repro.stable.storage.StableStorage`
+and exposes exactly the operations the algorithm performs:
+
+* :meth:`take_new` — write an uncommitted ``newchkpt``;
+* :meth:`commit_new` — ``oldchkpt := newchkpt; newchkpt := nil``;
+* :meth:`discard_new` — ``newchkpt := nil`` (abort);
+* the :attr:`oldchkpt` / :attr:`newchkpt` accessors.
+
+The Section 3.5.3 extension needs a *stack* of uncommitted checkpoints
+(``newchkpt_a .. newchkpt_l``); :class:`MultiCheckpointStore` provides that
+generalisation while keeping the same committed-slot semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import StableStorageError
+from repro.stable.storage import InMemoryStableStorage, StableStorage
+from repro.types import CheckpointRecord, Seq, SimTime
+
+
+def _encode(record: CheckpointRecord) -> dict:
+    return {
+        "seq": record.seq,
+        "state": record.state,
+        "committed": record.committed,
+        "made_at": record.made_at,
+        "meta": record.meta,
+    }
+
+
+def _decode(raw: Optional[dict]) -> Optional[CheckpointRecord]:
+    if raw is None:
+        return None
+    return CheckpointRecord(
+        seq=raw["seq"],
+        state=raw["state"],
+        committed=raw["committed"],
+        made_at=raw["made_at"],
+        meta=raw.get("meta", {}),
+    )
+
+
+class CheckpointStore:
+    """Two-slot stable checkpoint storage for one process."""
+
+    def __init__(self, storage: Optional[StableStorage] = None, namespace: str = "ckpt"):
+        self._storage = storage or InMemoryStableStorage()
+        self._ns = namespace
+
+    # -- slot accessors -------------------------------------------------
+    @property
+    def oldchkpt(self) -> Optional[CheckpointRecord]:
+        """The latest committed checkpoint, or ``None`` before the first."""
+        return _decode(self._storage.get(f"{self._ns}.old"))
+
+    @property
+    def newchkpt(self) -> Optional[CheckpointRecord]:
+        """The pending uncommitted checkpoint, or ``None``."""
+        return _decode(self._storage.get(f"{self._ns}.new"))
+
+    # -- transitions -----------------------------------------------------
+    def initialize(self, state: Any, made_at: SimTime = 0.0, seq: Seq = 1) -> CheckpointRecord:
+        """Install the initial committed checkpoint (process birth).
+
+        The paper's processes always have a committed checkpoint to fall back
+        to; we model process start as an implicit committed checkpoint of the
+        initial state.  Its sequence number defaults to 1, matching the
+        paper's figures (message labels then start at 1, keeping label 0
+        free as the "no messages received" sentinel for ``max_ij``).
+        """
+        record = CheckpointRecord(seq=seq, state=state, committed=True, made_at=made_at)
+        self._storage.put(f"{self._ns}.old", _encode(record))
+        self._storage.delete(f"{self._ns}.new")
+        return record
+
+    def take_new(self, seq: Seq, state: Any, made_at: SimTime = 0.0, **meta: Any) -> CheckpointRecord:
+        """Write the uncommitted ``newchkpt`` (fails if one is pending)."""
+        if self.newchkpt is not None:
+            raise StableStorageError("newchkpt already exists; commit or discard it first")
+        record = CheckpointRecord(seq=seq, state=state, committed=False, made_at=made_at, meta=meta)
+        self._storage.put(f"{self._ns}.new", _encode(record))
+        return record
+
+    def commit_new(self) -> CheckpointRecord:
+        """``oldchkpt := newchkpt; newchkpt := nil``; returns the new oldchkpt."""
+        pending = self.newchkpt
+        if pending is None:
+            raise StableStorageError("no newchkpt to commit")
+        pending.committed = True
+        self._storage.put(f"{self._ns}.old", _encode(pending))
+        self._storage.delete(f"{self._ns}.new")
+        return pending
+
+    def discard_new(self) -> None:
+        """``newchkpt := nil`` (abort); no-op if none pending."""
+        self._storage.delete(f"{self._ns}.new")
+
+
+class MultiCheckpointStore:
+    """Stack of uncommitted checkpoints for the Section 3.5.3 extension.
+
+    Uncommitted checkpoints ``newchkpt_a .. newchkpt_l`` are kept in creation
+    order.  Committing checkpoint ``h`` promotes it to ``oldchkpt`` and
+    discards ``a .. h`` (they are all older and now superseded), matching the
+    paper: "when newchkpt_a .. newchkpt_h all commit, oldchkpt is updated
+    with the value of newchkpt_h, and newchkpt_a .. newchkpt_h are
+    discarded."  (We commit on the first decision for ``h`` since each commit
+    decision certifies the consistency of everything up to ``h``.)
+    """
+
+    def __init__(self, storage: Optional[StableStorage] = None, namespace: str = "ckpt"):
+        self._storage = storage or InMemoryStableStorage()
+        self._ns = namespace
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def oldchkpt(self) -> Optional[CheckpointRecord]:
+        return _decode(self._storage.get(f"{self._ns}.old"))
+
+    @property
+    def pending(self) -> List[CheckpointRecord]:
+        """Uncommitted checkpoints, oldest first."""
+        raw = self._storage.get(f"{self._ns}.pending", [])
+        return [_decode(r) for r in raw]
+
+    @property
+    def newest(self) -> Optional[CheckpointRecord]:
+        """The most recent uncommitted checkpoint (``newchkpt_l``), if any."""
+        pending = self.pending
+        return pending[-1] if pending else None
+
+    def find(self, seq: Seq) -> Optional[CheckpointRecord]:
+        """The pending checkpoint with sequence number ``seq``, if any."""
+        for record in self.pending:
+            if record.seq == seq:
+                return record
+        return None
+
+    # -- transitions -----------------------------------------------------
+    def initialize(self, state: Any, made_at: SimTime = 0.0, seq: Seq = 1) -> CheckpointRecord:
+        record = CheckpointRecord(seq=seq, state=state, committed=True, made_at=made_at)
+        self._storage.put(f"{self._ns}.old", _encode(record))
+        self._storage.put(f"{self._ns}.pending", [])
+        return record
+
+    def _save_pending(self, pending: List[CheckpointRecord]) -> None:
+        self._storage.put(f"{self._ns}.pending", [_encode(r) for r in pending])
+
+    def push(self, seq: Seq, state: Any, made_at: SimTime = 0.0, **meta: Any) -> CheckpointRecord:
+        """Append a new uncommitted checkpoint (must be newer than the last)."""
+        pending = self.pending
+        if pending and seq <= pending[-1].seq:
+            raise StableStorageError(
+                f"checkpoint seq {seq} not newer than pending seq {pending[-1].seq}"
+            )
+        record = CheckpointRecord(seq=seq, state=state, committed=False, made_at=made_at, meta=meta)
+        pending.append(record)
+        self._save_pending(pending)
+        return record
+
+    def commit_through(self, seq: Seq) -> CheckpointRecord:
+        """Commit the pending checkpoint with ``seq`` and discard older ones."""
+        pending = self.pending
+        target = None
+        for record in pending:
+            if record.seq == seq:
+                target = record
+                break
+        if target is None:
+            raise StableStorageError(f"no pending checkpoint with seq {seq}")
+        target.committed = True
+        self._storage.put(f"{self._ns}.old", _encode(target))
+        self._save_pending([r for r in pending if r.seq > seq])
+        return target
+
+    def discard_from(self, seq: Seq) -> List[CheckpointRecord]:
+        """Discard the pending checkpoint with ``seq`` and everything newer.
+
+        Used by the extension's rollback cases 2.1/2.2, which abort
+        ``newchkpt_h .. newchkpt_l``.  Returns the discarded records.
+        """
+        pending = self.pending
+        kept = [r for r in pending if r.seq < seq]
+        dropped = [r for r in pending if r.seq >= seq]
+        self._save_pending(kept)
+        return dropped
+
+    def discard_all(self) -> List[CheckpointRecord]:
+        """Discard every pending checkpoint."""
+        pending = self.pending
+        self._save_pending([])
+        return pending

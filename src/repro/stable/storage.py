@@ -1,0 +1,123 @@
+"""Stable storage (paper Section 6, assumption b).
+
+"Process failures do not affect the stable storage.  Thus a recovering
+process can always restore its last checkpointed state."
+
+:class:`StableStorage` is a tiny key/value interface with exactly the
+semantics the algorithms need: writes are atomic and survive crashes, reads
+after a crash see the last completed write.  Two implementations:
+
+* :class:`InMemoryStableStorage` — the default for simulations; "stable"
+  simply means it lives outside the node object that gets reset on crash.
+* :class:`FileStableStorage` — JSON-per-key on disk, with atomic rename
+  writes; used by the file-backed examples and to demonstrate that the
+  checkpoint records round-trip through real persistence.
+
+Values must be JSON-serialisable for the file backend; the in-memory backend
+stores deep copies so a caller mutating a stored object cannot corrupt the
+"disk".
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator
+
+from repro.errors import StableStorageError
+
+
+class StableStorage:
+    """Abstract crash-surviving key/value store."""
+
+    def put(self, key: str, value: Any) -> None:
+        raise NotImplementedError
+
+    def get(self, key: str, default: Any = None) -> Any:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+
+class InMemoryStableStorage(StableStorage):
+    """Dictionary-backed stable storage with copy-on-write semantics."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = copy.deepcopy(value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if key not in self._data:
+            return default
+        return copy.deepcopy(self._data[key])
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def keys(self) -> Iterator[str]:
+        return iter(sorted(self._data))
+
+
+class FileStableStorage(StableStorage):
+    """One JSON file per key under ``root``; writes are atomic renames.
+
+    The atomic rename is what makes this *stable*: a crash mid-write leaves
+    either the old value or the new value, never a torn record — the
+    Lampson-Sturgis contract the paper cites.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        safe = key.replace(os.sep, "_")
+        return os.path.join(self.root, f"{safe}.json")
+
+    def put(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        try:
+            payload = json.dumps(value)
+        except (TypeError, ValueError) as exc:
+            raise StableStorageError(f"value for {key!r} is not JSON-serialisable: {exc}") from exc
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def get(self, key: str, default: Any = None) -> Any:
+        path = self._path(key)
+        if not os.path.exists(path):
+            return default
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StableStorageError(f"corrupt stable record {key!r}: {exc}") from exc
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        if os.path.exists(path):
+            os.unlink(path)
+
+    def keys(self) -> Iterator[str]:
+        for name in sorted(os.listdir(self.root)):
+            if name.endswith(".json") and not name.startswith(".tmp-"):
+                yield name[: -len(".json")]

@@ -1,0 +1,33 @@
+"""Workload generators: random peer, client-server, pipeline, ring, bursty,
+plus the scripted scenarios reproducing the paper's figures."""
+
+from repro.workloads.base import ProtocolDriver, Workload, exponential_arrivals
+from repro.workloads.bursty import BurstyWorkload
+from repro.workloads.client_server import ClientServerWorkload, ReplyingServerApp
+from repro.workloads.pipeline import ForwardingApp, PipelineWorkload
+from repro.workloads.random_peer import RandomPeerWorkload
+from repro.workloads.ring import RingWorkload, TokenApp
+from repro.workloads.scripted import (
+    ScriptedWorkload,
+    figure2_steps,
+    figure3_steps,
+    figure4_steps,
+)
+
+__all__ = [
+    "BurstyWorkload",
+    "ClientServerWorkload",
+    "ForwardingApp",
+    "PipelineWorkload",
+    "ProtocolDriver",
+    "RandomPeerWorkload",
+    "ReplyingServerApp",
+    "RingWorkload",
+    "ScriptedWorkload",
+    "TokenApp",
+    "Workload",
+    "exponential_arrivals",
+    "figure2_steps",
+    "figure3_steps",
+    "figure4_steps",
+]

@@ -1,0 +1,69 @@
+"""Bursty traffic workload.
+
+Alternates busy phases (high-rate random traffic) with idle phases.  Bursts
+create dense message-exchange windows (large checkpoint trees, long rollback
+cascades) separated by quiet windows where instances involve almost nobody —
+useful for studying how tree size tracks communication density.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.types import ProcessId, SimTime
+from repro.workloads.base import ProtocolDriver, Workload, exponential_arrivals
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulation import Simulation
+
+
+class BurstyWorkload(Workload):
+    """Square-wave modulated Poisson traffic."""
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        burst_rate: float = 5.0,
+        idle_rate: float = 0.1,
+        burst_length: SimTime = 10.0,
+        idle_length: SimTime = 10.0,
+        duration: SimTime = 100.0,
+    ):
+        self.burst_rate = burst_rate
+        self.idle_rate = idle_rate
+        self.burst_length = burst_length
+        self.idle_length = idle_length
+        self.duration = duration
+
+    def install(self, sim: "Simulation", procs: Dict[ProcessId, ProtocolDriver]) -> None:
+        pids: List[ProcessId] = sorted(procs)
+        if len(pids) < 2:
+            return
+        for pid in pids:
+            proc = procs[pid]
+            peer_stream = sim.rng.stream(self.name, "peer", pid)
+            others = [p for p in pids if p != pid]
+            phase_start = 0.0
+            busy = True
+            counter = 0
+            while phase_start < self.duration:
+                length = self.burst_length if busy else self.idle_length
+                length = min(length, self.duration - phase_start)
+                rate = self.burst_rate if busy else self.idle_rate
+                for t in exponential_arrivals(
+                    sim,
+                    (self.name, "send", pid, round(phase_start, 6)),
+                    rate,
+                    length,
+                    start=phase_start,
+                ):
+                    dst = peer_stream.choice(others)
+                    counter += 1
+                    sim.scheduler.at(
+                        t,
+                        lambda p=proc, d=dst, i=counter: p.send_app_message(d, f"b{p.node_id}-{i}"),
+                        label=f"bursty send P{pid}",
+                    )
+                phase_start += length
+                busy = not busy

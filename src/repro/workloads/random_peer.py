@@ -1,0 +1,93 @@
+"""Uniform random peer-to-peer traffic — the default comparison workload.
+
+Every process sends Poisson-distributed messages to uniformly random peers,
+interleaved with local computation steps.  Optionally, random processes
+initiate checkpoints (modelling the b1 timer) and inject transient errors
+(modelling b5), which is how the E-T5 and E-CONC experiments exercise the
+protocols under contention.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.types import ProcessId, SimTime
+from repro.workloads.base import ProtocolDriver, Workload, exponential_arrivals
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulation import Simulation
+
+
+class RandomPeerWorkload(Workload):
+    """Poisson peer-to-peer messaging with optional protocol activity.
+
+    ``message_rate`` — sends per process per time unit.
+    ``step_rate`` — local computation steps per process per time unit.
+    ``checkpoint_rate`` — autonomous checkpoint initiations per process per
+    time unit (0 disables; experiments often initiate explicitly instead).
+    ``error_rate`` — transient-error injections (rollback initiations) per
+    process per time unit.
+    ``duration`` — workload horizon; nothing is scheduled past it.
+    ``locality`` — when set, each process only messages peers within this
+    id-distance (wrapping), modelling neighbourhood-local communication;
+    ``None`` means uniform all-to-all.
+    """
+
+    name = "random_peer"
+
+    def __init__(
+        self,
+        message_rate: float = 1.0,
+        duration: SimTime = 100.0,
+        step_rate: float = 0.5,
+        checkpoint_rate: float = 0.0,
+        error_rate: float = 0.0,
+        locality: int = None,
+    ):
+        self.message_rate = message_rate
+        self.duration = duration
+        self.step_rate = step_rate
+        self.checkpoint_rate = checkpoint_rate
+        self.error_rate = error_rate
+        self.locality = locality
+
+    def _peers_of(self, pid: ProcessId, pids: List[ProcessId]) -> List[ProcessId]:
+        others = [p for p in pids if p != pid]
+        if self.locality is None:
+            return others
+        n = len(pids)
+        index = pids.index(pid)
+        window = set()
+        for offset in range(1, self.locality + 1):
+            window.add(pids[(index + offset) % n])
+            window.add(pids[(index - offset) % n])
+        window.discard(pid)
+        return sorted(window)
+
+    def install(self, sim: "Simulation", procs: Dict[ProcessId, ProtocolDriver]) -> None:
+        pids: List[ProcessId] = sorted(procs)
+        for pid in pids:
+            proc = procs[pid]
+            peer_stream = sim.rng.stream(self.name, "peer", pid)
+            others = self._peers_of(pid, pids)
+            if not others:
+                continue
+            for k, t in enumerate(
+                exponential_arrivals(sim, (self.name, "send", pid), self.message_rate, self.duration)
+            ):
+                dst = peer_stream.choice(others)
+                sim.scheduler.at(
+                    t,
+                    lambda p=proc, d=dst, i=k: p.send_app_message(d, f"m{p.node_id}-{i}"),
+                    label=f"wl send P{pid}",
+                )
+            for t in exponential_arrivals(sim, (self.name, "step", pid), self.step_rate, self.duration):
+                sim.scheduler.at(t, proc.local_step, label=f"wl step P{pid}")
+            for t in exponential_arrivals(
+                sim, (self.name, "ckpt", pid), self.checkpoint_rate, self.duration
+            ):
+                sim.scheduler.at(t, proc.initiate_checkpoint, label=f"wl ckpt P{pid}")
+            for t in exponential_arrivals(
+                sim, (self.name, "err", pid), self.error_rate, self.duration
+            ):
+                sim.scheduler.at(t, proc.initiate_rollback, label=f"wl error P{pid}")

@@ -1,0 +1,126 @@
+"""Scripted scenarios — exact reproductions of the paper's figures.
+
+A :class:`ScriptedWorkload` replays a fixed list of timed steps.  Supported
+step kinds:
+
+``("send", src, dst, payload)``      — application message
+``("checkpoint", pid)``              — b1 initiation
+``("rollback", pid)``                — b5 initiation (transient error)
+``("step", pid)``                    — one unit of local computation
+``("crash", pid)`` / ``("recover", pid)`` — failure injection
+``("call", fn)``                     — arbitrary callable, for exotic steps
+
+The module also ships the step lists for Figures 2, 3 and 4 so tests,
+benchmarks and examples all replay literally the same scenario.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.types import ProcessId
+from repro.workloads.base import ProtocolDriver, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulation import Simulation
+
+Step = Tuple  # (time, kind, *args)
+
+
+class ScriptedWorkload(Workload):
+    """Replay an explicit ``(time, kind, *args)`` step list."""
+
+    name = "scripted"
+
+    def __init__(self, steps: Sequence[Step]):
+        self.steps = list(steps)
+
+    def install(self, sim: "Simulation", procs: Dict[ProcessId, ProtocolDriver]) -> None:
+        for step in self.steps:
+            time, kind = step[0], step[1]
+            if kind == "send":
+                _, _, src, dst, payload = step
+                sim.scheduler.at(
+                    time,
+                    lambda s=src, d=dst, p=payload: procs[s].send_app_message(d, p),
+                    label=f"script send P{src}->P{dst}",
+                )
+            elif kind == "checkpoint":
+                _, _, pid = step
+                sim.scheduler.at(
+                    time, lambda p=pid: procs[p].initiate_checkpoint(), label=f"script ckpt P{pid}"
+                )
+            elif kind == "rollback":
+                _, _, pid = step
+                sim.scheduler.at(
+                    time, lambda p=pid: procs[p].initiate_rollback(), label=f"script roll P{pid}"
+                )
+            elif kind == "step":
+                _, _, pid = step
+                sim.scheduler.at(time, procs[pid].local_step, label=f"script step P{pid}")
+            elif kind == "crash":
+                _, _, pid = step
+                sim.scheduler.at(time, lambda p=pid: sim.crash(p), label=f"script crash P{pid}")
+            elif kind == "recover":
+                _, _, pid = step
+                sim.scheduler.at(time, lambda p=pid: sim.recover(p), label=f"script recover P{pid}")
+            elif kind == "call":
+                _, _, fn = step
+                sim.scheduler.at(time, fn, label="script call")
+            else:
+                raise WorkloadError(f"unknown scripted step kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# The paper's figures as literal scripts (process ids match the figures).
+# ----------------------------------------------------------------------
+
+def figure2_steps() -> List[Step]:
+    """Fig. 2: checkpoint/rollback-point numbering and message labels.
+
+    One process (P0) makes checkpoints and rollback points while sending
+    m, l, x, y, z to P1; the paper says their labels are 1, 2, 3, 3, 4.
+    """
+    return [
+        (1.0, "send", 0, 1, "m"),        # interval [1,2] -> label 1
+        (2.0, "checkpoint", 0),           # point 2
+        (3.0, "send", 0, 1, "l"),        # interval [2,3] -> label 2
+        (4.0, "checkpoint", 0),           # point 3
+        (5.0, "send", 0, 1, "x"),        # interval [3,4] -> label 3
+        (6.0, "send", 0, 1, "y"),        # interval [3,4] -> label 3
+        (7.0, "rollback", 0),             # rollback point 4
+        (9.0, "send", 0, 1, "z"),        # interval [4,5] -> label 4
+    ]
+
+
+def figure3_steps() -> List[Step]:
+    """Fig. 3 / Example 1: P2 initiates; the chkpt tree is P2 -> P3 -> P4.
+
+    P1 sends x to P2 *before* making its own checkpoint λ1, so when P2's
+    request arrives, P1 answers neg_ack (seqof(λ1) > label(x)) and stays out
+    of the tree — that is the paper's minimality in action.
+    """
+    return [
+        (1.0, "send", 4, 3, "m"),         # P4 -> P3
+        (2.0, "send", 3, 2, "l"),         # P3 -> P2
+        (2.0, "send", 1, 2, "x"),         # P1 -> P2
+        (3.5, "checkpoint", 1),           # λ1 (its own separate instance)
+        (5.0, "checkpoint", 2),           # α2: P2 initiates the instance
+    ]
+
+
+def figure4_steps() -> List[Step]:
+    """Fig. 4 / Example 2: P1 and P2 initiate simultaneously.
+
+    P3 sent messages to both initiators and P4 to P3, so both instances
+    recruit P3 and P4; the single uncommitted checkpoint on each is shared
+    between the two trees and commits once.
+    """
+    return [
+        (1.0, "send", 4, 3, "m43"),
+        (2.0, "send", 3, 1, "m31"),
+        (2.0, "send", 3, 2, "m32"),
+        (4.0, "checkpoint", 1),           # α1 — tree T(t')
+        (4.0, "checkpoint", 2),           # α2 — tree T(t)
+    ]

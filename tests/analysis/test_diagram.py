@@ -1,0 +1,75 @@
+"""Tests for the ASCII space-time diagram renderer."""
+
+from repro.analysis.diagram import space_time
+from repro.testing import build_sim
+
+
+def run_checkpoint_scenario():
+    sim, procs = build_sim(n=3, seed=1)
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(1, "a"))
+    sim.scheduler.at(3.0, lambda: procs[1].initiate_checkpoint())
+    sim.run()
+    return sim, procs
+
+
+def test_diagram_has_one_lane_per_traced_process():
+    sim, _ = run_checkpoint_scenario()
+    text = space_time(sim.trace, width=40)
+    lines = text.splitlines()
+    # P2 never acted, so it has no lane by default; pass pids to force one.
+    assert lines[0].startswith("P0 |")
+    assert lines[1].startswith("P1 |")
+    assert not lines[2].startswith("P2")
+    assert len(lines[0]) == len(lines[1])
+    forced = space_time(sim.trace, pids=[0, 1, 2], width=40)
+    assert forced.splitlines()[2].startswith("P2 |")
+
+
+def test_diagram_symbols_present():
+    sim, _ = run_checkpoint_scenario()
+    text = space_time(sim.trace, width=60, legend=False)
+    p0, p1 = text.splitlines()[0], text.splitlines()[1]
+    assert "s" in p0 and "@" in p0          # sender forced and committed
+    assert "r" in p1 and "@" in p1          # receiver committed
+    assert "=" in p1                        # send-suspension span visible
+
+
+def test_rollback_symbols():
+    sim, procs = build_sim(n=2, seed=1)
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(1, "a"))
+    sim.scheduler.at(3.0, lambda: procs[0].initiate_rollback())
+    sim.run()
+    text = space_time(sim.trace, width=60, legend=False)
+    p1 = text.splitlines()[1]
+    assert "x" in p1 and ">" in p1 and "~" in p1
+
+
+def test_pid_selection_and_window():
+    sim, _ = run_checkpoint_scenario()
+    text = space_time(sim.trace, pids=[1], width=30, start=2.0, end=5.0)
+    lanes = [l for l in text.splitlines() if l.startswith("P")]
+    assert len(lanes) == 1
+    assert "t=2.0" in text and "t=5.0" in text
+
+
+def test_legend_toggle():
+    sim, _ = run_checkpoint_scenario()
+    assert "legend:" in space_time(sim.trace)
+    assert "legend:" not in space_time(sim.trace, legend=False)
+
+
+def test_empty_trace():
+    from repro.sim.trace import Trace
+
+    assert space_time(Trace()) == "(empty trace)"
+
+
+def test_unresumed_suspension_extends_to_edge():
+    sim, procs = build_sim(n=2, seed=1)
+    procs[0]._suspend_send()
+    sim.scheduler.at(5.0, lambda: procs[0].local_step())
+    sim.scheduler.at(6.0, lambda: procs[1].send_app_message(0, "m"))
+    sim.run()
+    text = space_time(sim.trace, width=30, legend=False)
+    p0 = text.splitlines()[0]
+    assert p0.rstrip("|").endswith("=") or "=" in p0[-6:]

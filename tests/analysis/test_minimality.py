@@ -1,0 +1,81 @@
+"""Unit tests for the Theorem 3/4 minimality checkers."""
+
+import pytest
+
+from repro.analysis import (
+    check_checkpoint_minimality,
+    check_rollback_minimality,
+    reconstruct_trees,
+)
+from repro.errors import ConsistencyViolation
+from repro.testing import build_sim
+
+
+def committed_instance():
+    sim, procs = build_sim(n=3, seed=1)
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(1, "a"))
+    sim.scheduler.at(2.0, lambda: procs[1].send_app_message(2, "b"))
+    sim.scheduler.at(4.0, lambda: procs[2].initiate_checkpoint())
+    sim.run()
+    trees = reconstruct_trees(sim.trace)
+    tree_id = next(iter(trees))
+    return sim, procs, tree_id
+
+
+def test_checkpoint_minimality_holds_for_chain():
+    sim, procs, tree_id = committed_instance()
+    check_checkpoint_minimality(sim.trace, procs.values(), tree_id)
+
+
+def test_checkpoint_minimality_rejects_padded_instance():
+    """Fabricate an unnecessary participant: the checker must flag it."""
+    sim, procs, tree_id = committed_instance()
+    # Give P0 a fake extra committed checkpoint that nothing depends on.
+    extra = procs[0].committed_history[-1].copy()
+    extra.seq += 1
+    extra.meta = {"recv": [], "sent": []}
+    procs[0].committed_history.append(extra)
+    with pytest.raises(ConsistencyViolation, match="T3"):
+        check_checkpoint_minimality(sim.trace, procs.values(), tree_id)
+
+
+def test_checkpoint_minimality_requires_commit():
+    sim, procs, tree_id = committed_instance()
+    from repro.types import TreeId
+
+    with pytest.raises(ConsistencyViolation, match="T3"):
+        check_checkpoint_minimality(sim.trace, procs.values(), TreeId(9, 9))
+
+
+def completed_rollback():
+    sim, procs = build_sim(n=3, seed=1)
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(1, "a"))
+    sim.scheduler.at(2.0, lambda: procs[1].send_app_message(2, "b"))
+    sim.scheduler.at(4.0, lambda: procs[0].initiate_rollback())
+    sim.run()
+    trees = reconstruct_trees(sim.trace)
+    tree_id = next(t for t, v in trees.items() if v.kind == "rollback")
+    return sim, procs, tree_id
+
+
+def test_rollback_minimality_holds_for_cascade():
+    sim, procs, tree_id = completed_rollback()
+    check_rollback_minimality(sim.trace, tree_id)
+
+
+def test_rollback_minimality_rejects_unjustified_member():
+    """Append a fabricated positive ack from an uninvolved process."""
+    sim, procs, tree_id = completed_rollback()
+    # Nothing P9... use a process with no undone receives: forge an edge by
+    # recording a fake positive roll ack in the trace.
+    sim.trace.record(
+        99.0, "ctrl_send", pid=2, dst=0, msg_type="roll_ack",
+        tree=tree_id, positive=True,
+    )
+    # P2 genuinely rolled back (cascade), so instead forge a new process id.
+    sim.trace.record(
+        99.0, "ctrl_send", pid=7, dst=0, msg_type="roll_ack",
+        tree=tree_id, positive=True,
+    )
+    with pytest.raises(ConsistencyViolation, match="T4"):
+        check_rollback_minimality(sim.trace, tree_id)

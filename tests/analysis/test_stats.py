@@ -1,0 +1,71 @@
+"""Unit tests for the run-statistics collector."""
+
+from repro.analysis import collect
+from repro.testing import build_sim, run_random_workload
+
+
+def test_counts_match_network_counters():
+    sim, procs = build_sim(n=4, seed=5)
+    run_random_workload(sim, procs, duration=30.0, checkpoint_rate=0.05)
+    stats = collect(sim)
+    assert stats.normal_messages == sim.network.normal_sent
+    assert stats.control_messages == sim.network.control_sent
+    assert stats.processes == 4
+
+
+def test_instance_accounting_consistent():
+    sim, procs = build_sim(n=4, seed=5)
+    run_random_workload(sim, procs, duration=30.0, checkpoint_rate=0.05)
+    stats = collect(sim)
+    assert stats.instances_started >= 1
+    assert stats.instances_committed <= stats.instances_started
+    assert stats.checkpoints_committed >= stats.instances_committed > 0
+
+
+def test_blocking_time_positive_when_suspended():
+    sim, procs = build_sim(n=2, seed=1)
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(1, "m"))
+    sim.scheduler.at(3.0, lambda: procs[1].initiate_checkpoint())
+    sim.run()
+    stats = collect(sim)
+    assert stats.send_blocked_time > 0
+
+
+def test_forced_counts_per_instance():
+    sim, procs = build_sim(n=3, seed=1)
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(1, "a"))
+    sim.scheduler.at(2.0, lambda: procs[1].send_app_message(2, "b"))
+    sim.scheduler.at(4.0, lambda: procs[2].initiate_checkpoint())
+    sim.run()
+    stats = collect(sim)
+    assert stats.forced_per_instance == [2]
+    assert stats.mean_forced == 2.0
+    assert stats.max_forced == 2
+    assert stats.tree_depths == [2]
+
+
+def test_latency_measured():
+    sim, procs = build_sim(n=2, seed=1)
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(1, "m"))
+    sim.scheduler.at(3.0, lambda: procs[1].initiate_checkpoint())
+    sim.run()
+    stats = collect(sim)
+    assert len(stats.instance_latencies) == 1
+    assert stats.mean_latency > 0
+
+
+def test_open_suspension_charged_to_end():
+    sim, procs = build_sim(n=2, seed=1)
+    procs[0]._suspend_send()
+    sim.scheduler.at(10.0, lambda: None)
+    sim.run()
+    stats = collect(sim)
+    assert stats.send_blocked_time == 10.0
+
+
+def test_as_row_is_flat_and_rounded():
+    sim, procs = build_sim(n=2, seed=1)
+    sim.run()
+    row = collect(sim).as_row()
+    assert set(row) >= {"processes", "normal_msgs", "control_msgs",
+                        "committed", "mean_forced", "send_blocked"}

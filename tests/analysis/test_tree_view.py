@@ -1,0 +1,60 @@
+"""Unit tests for instance-tree reconstruction and rendering."""
+
+from repro.analysis import reconstruct_trees
+from repro.analysis.tree_view import InstanceTree
+from repro.testing import build_sim
+from repro.types import TreeId
+
+
+def test_reconstruct_chain_tree():
+    sim, procs = build_sim(n=3, seed=1)
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(1, "a"))
+    sim.scheduler.at(2.0, lambda: procs[1].send_app_message(2, "b"))
+    sim.scheduler.at(4.0, lambda: procs[2].initiate_checkpoint())
+    sim.run()
+    trees = reconstruct_trees(sim.trace)
+    assert len(trees) == 1
+    tree = next(iter(trees.values()))
+    assert tree.root == 2
+    assert tree.kind == "checkpoint"
+    assert tree.decided == "commit"
+    assert tree.nodes == {0, 1, 2}
+    assert tree.participants == {0, 1}
+    assert tree.parent_of(0) == 1
+    assert tree.parent_of(2) is None
+    assert tree.children_of(2) == [1]
+    assert tree.depth() == 2
+
+
+def test_reconstruct_rollback_tree():
+    sim, procs = build_sim(n=2, seed=1)
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(1, "a"))
+    sim.scheduler.at(3.0, lambda: procs[0].initiate_rollback())
+    sim.run()
+    trees = reconstruct_trees(sim.trace)
+    tree = next(iter(trees.values()))
+    assert tree.kind == "rollback"
+    assert tree.edges == [(0, 1)]
+
+
+def test_lone_instance_has_empty_tree():
+    sim, procs = build_sim(n=2, seed=1)
+    sim.scheduler.at(1.0, lambda: procs[0].initiate_checkpoint())
+    sim.run()
+    trees = reconstruct_trees(sim.trace)
+    tree = next(iter(trees.values()))
+    assert tree.participants == set()
+    assert tree.depth() == 0
+
+
+def test_render():
+    tree = InstanceTree(tree=TreeId(2, 0), kind="checkpoint", root=2,
+                        edges=[(2, 3), (3, 4)])
+    assert tree.render() == "P2\n  P3\n    P4"
+
+
+def test_depth_handles_diamond():
+    tree = InstanceTree(tree=TreeId(0, 0), kind="checkpoint", root=0,
+                        edges=[(0, 1), (0, 2), (1, 3), (2, 3)])
+    assert tree.depth() == 2
+    assert tree.nodes == {0, 1, 2, 3}

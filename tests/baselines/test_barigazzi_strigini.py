@@ -1,0 +1,67 @@
+"""Tests for the Barigazzi-Strigini baseline: atomic sends, full blocking."""
+
+from repro.analysis import check_c1, check_no_dangling_receives, collect
+from repro.baselines import BarigazziStriginiProcess
+from repro.net import UniformDelay
+from repro.sim import trace as T
+from repro.testing import build_sim, run_random_workload
+
+
+def build(n=4, seed=0):
+    return build_sim(n=n, seed=seed, fifo=True, cls=BarigazziStriginiProcess,
+                     delay=UniformDelay(0.4, 0.8))
+
+
+def test_atomic_sends_serialise():
+    """The second send is transmitted only after the first is acknowledged."""
+    sim, procs = build()
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(1, "a"))
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(2, "b"))
+    sim.run(until=60.0)
+    sends = [e for e in sim.trace.of_kind(T.K_SEND) if e.pid == 0]
+    assert len(sends) == 2
+    # The second transmit happened at least one round-trip later.
+    assert sends[1].time - sends[0].time >= 0.8
+
+
+def test_every_message_acknowledged():
+    sim, procs = build()
+    run_random_workload(sim, procs, duration=20.0, message_rate=0.5)
+    acks = [e for e in sim.trace.of_kind("ctrl_receive")
+            if e.fields.get("msg_type") == "delivery_ack"]
+    # Control receives of acks are not traced (no tree); count via network:
+    # every normal message produced exactly one ack control message.
+    assert sim.network.control_sent >= sim.network.normal_sent
+
+
+def test_checkpoint_blocks_sends_and_receives():
+    sim, procs = build()
+    sim.scheduler.at(1.0, lambda: procs[0].send_app_message(1, "m"))
+    sim.scheduler.at(4.0, lambda: procs[1].initiate_checkpoint())
+    sim.run(until=60.0)
+    assert sim.trace.for_process(1, T.K_SUSPEND_ALL)  # receive-blocking too
+    check_c1(procs.values())
+
+
+def test_blocking_time_exceeds_leu_bhargava():
+    from repro.core import CheckpointProcess
+
+    def measure(cls):
+        sim, procs = build_sim(n=4, seed=5, fifo=True, cls=cls,
+                               delay=UniformDelay(0.4, 0.8))
+        run_random_workload(sim, procs, duration=40.0, message_rate=1.0,
+                            checkpoint_rate=0.08, horizon=300.0)
+        return collect(sim)
+
+    bs = measure(BarigazziStriginiProcess)
+    lb = measure(CheckpointProcess)
+    assert bs.send_blocked_time > lb.send_blocked_time
+
+
+def test_randomized_consistency():
+    for seed in range(5):
+        sim, procs = build(n=4, seed=seed)
+        run_random_workload(sim, procs, duration=30.0, checkpoint_rate=0.05,
+                            error_rate=0.02, horizon=300.0)
+        check_c1(procs.values())
+        check_no_dangling_receives(procs.values())

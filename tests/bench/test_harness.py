@@ -1,0 +1,58 @@
+"""Unit tests for the benchmark harness formatting helpers."""
+
+from repro.bench.harness import format_series, format_table
+
+
+def test_format_table_basic():
+    rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("a ")
+    assert "22" in lines[3]
+    # Columns align: every row has the same width.
+    assert len(set(map(len, lines))) == 1
+
+
+def test_format_table_with_title_and_columns():
+    rows = [{"a": 1, "b": 2, "c": 3}]
+    text = format_table(rows, columns=["c", "a"], title="T")
+    assert text.splitlines()[0] == "T"
+    assert "b" not in text.splitlines()[1]
+
+
+def test_format_table_floats_rounded():
+    text = format_table([{"v": 3.14159265}])
+    assert "3.142" in text
+    assert "3.14159" not in text
+
+
+def test_format_table_missing_keys_blank():
+    text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+    assert "1" in text and "2" in text
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([])
+    assert format_table([], title="T").startswith("T")
+
+
+def test_format_series():
+    text = format_series([(1, 10.0), (2, 20.0)], "x", "y", title="S")
+    assert text.splitlines()[0] == "S"
+    assert "10.000" in text
+
+
+def test_cli_registry_names_resolve():
+    from repro.bench.__main__ import REGISTRY, main
+
+    assert {"fig1", "fig2", "fig3", "fig4", "table5", "scale"} <= set(REGISTRY)
+    assert main(["definitely-not-an-experiment"]) == 2
+
+
+def test_cli_runs_a_cheap_experiment(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "EXPERIMENT fig2" in out
+    assert "paper_label" in out

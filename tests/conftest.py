@@ -1,0 +1,17 @@
+"""Shared test fixtures (builders live in repro.testing)."""
+
+import pytest
+
+from repro.testing import build_sim
+
+
+@pytest.fixture
+def sim_pair():
+    """A 2-process simulation with deterministic delays."""
+    return build_sim(n=2, seed=1)
+
+
+@pytest.fixture
+def sim_quad():
+    """A 4-process simulation with deterministic delays."""
+    return build_sim(n=4, seed=1)

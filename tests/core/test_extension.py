@@ -1,0 +1,109 @@
+"""Tests for the Section 3.5.3 extension (sending while uncommitted)."""
+
+from repro.analysis import (
+    check_app_states,
+    check_no_dangling_receives,
+    check_recovery_line,
+)
+from repro.core import ExtendedCheckpointProcess
+from repro.core.messages import NormalBody
+from repro.sim import trace as T
+from repro.testing import build_sim, run_random_workload
+
+
+def at(sim, t, fn):
+    sim.scheduler.at(t, fn)
+
+
+def build(n=3, seed=0, delay=None):
+    return build_sim(n=n, seed=seed, delay=delay, cls=ExtendedCheckpointProcess)
+
+
+def test_sends_not_suspended_while_uncommitted():
+    sim, procs = build(n=3)
+    at(sim, 1.0, lambda: procs[0].send_app_message(1, "m"))
+    at(sim, 3.0, lambda: procs[1].initiate_checkpoint())
+    # While P1's instance is pending, P1 can still send.
+    at(sim, 3.1, lambda: procs[1].send_app_message(2, "not-blocked"))
+    sim.run(until=3.2)
+    live = [r for r in procs[1].ledger.sent if r.dst == 2]
+    assert live, "extension must transmit immediately while uncommitted"
+    assert not procs[1].send_suspended
+    sim.run()
+    check_recovery_line(procs.values())
+
+
+def test_uncommitted_sends_carry_markers():
+    sim, procs = build(n=3)
+    at(sim, 1.0, lambda: procs[0].send_app_message(1, "m"))
+    at(sim, 3.0, lambda: procs[1].initiate_checkpoint())
+    markers = []
+    original = procs[2]._before_consume_normal
+
+    def spy(src, body: NormalBody):
+        markers.append(body.markers)
+        original(src, body)
+
+    procs[2]._before_consume_normal = spy
+    at(sim, 3.1, lambda: procs[1].send_app_message(2, "marked"))
+    sim.run()
+    assert any(m for m in markers), "markers must ride on uncommitted-era sends"
+
+
+def test_marker_triggers_receiver_checkpoint_before_consume():
+    """Chandy-Lamport-style: the receiver checkpoints before consuming a
+    marked message, so the message lands after the receiver's checkpoint."""
+    sim, procs = build(n=3)
+    at(sim, 1.0, lambda: procs[0].send_app_message(1, "m"))
+    at(sim, 3.0, lambda: procs[1].initiate_checkpoint())
+    at(sim, 3.1, lambda: procs[1].send_app_message(2, "marked"))
+    sim.run()
+    tentative = sim.trace.for_process(2, T.K_CHKPT_TENTATIVE)
+    receive = [e for e in sim.trace.for_process(2, T.K_RECEIVE)
+               if e.fields["src"] == 1]
+    assert tentative and receive
+    assert tentative[0].index < receive[0].index
+    # The marked message is therefore NOT in the new checkpoint's interval.
+    record = procs[2].ledger.received[-1]
+    assert record.interval >= tentative[0].seq
+
+
+def test_multiple_pending_checkpoints_stack():
+    sim, procs = build(n=2)
+    at(sim, 1.0, lambda: procs[0].initiate_checkpoint())
+    # Nothing commits these instantly? A lone initiator commits at once, so
+    # force pendings by keeping a dependency open: P1 sends, then P0
+    # checkpoints twice before P1's participation resolves... simplest:
+    # P0 initiates twice in a row with traffic in between.
+    sim.run()
+    at(sim, 5.0, lambda: procs[1].send_app_message(0, "a"))
+    at(sim, 7.0, lambda: procs[0].initiate_checkpoint())
+    at(sim, 7.05, lambda: procs[1].send_app_message(0, "b"))
+    sim.run(until=7.4)
+    at(sim, 7.5, lambda: procs[0].initiate_checkpoint())
+    peak = []
+    at(sim, 7.55, lambda: peak.append(len(procs[0].multi_store.pending)))
+    sim.run()
+    assert peak and peak[0] >= 1
+    check_recovery_line(procs.values())
+    check_no_dangling_receives(procs.values())
+
+
+def test_extension_randomized_consistency():
+    for seed in range(6):
+        sim, procs = build(n=4, seed=seed)
+        run_random_workload(
+            sim, procs, duration=30.0, checkpoint_rate=0.08, error_rate=0.03
+        )
+        for p in procs.values():
+            assert not p.comm_suspended and not p.roll_restart_set
+            assert not p.commit_sets, f"pending instances: {p.commit_sets}"
+        check_recovery_line(procs.values())
+        check_app_states(procs.values())
+
+
+def test_extension_blocking_time_is_zero_for_checkpoints():
+    """The headline claim: no send-blocking from checkpointing."""
+    sim, procs = build(n=4, seed=3)
+    run_random_workload(sim, procs, duration=30.0, checkpoint_rate=0.1)
+    assert not sim.trace.of_kind(T.K_SUSPEND_SEND)

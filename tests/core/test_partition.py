@@ -1,0 +1,95 @@
+"""Tests for pessimistic partition handling with weighted voting."""
+
+from repro.analysis import check_app_states, check_recovery_line
+from repro.core import CheckpointProcess, PartitionCoordinator, ProtocolConfig
+from repro.failure import VoteRegistry
+from repro.testing import build_sim, run_random_workload
+
+
+def build(n=5, seed=0):
+    sim, procs = build_sim(
+        n=n,
+        seed=seed,
+        config=ProtocolConfig(failure_resilience=True),
+        detector_latency=1.0,
+        spoolers=True,
+    )
+    coord = PartitionCoordinator(sim, VoteRegistry.uniform(range(n)))
+    return sim, procs, coord
+
+
+def test_minority_goes_dormant_majority_continues():
+    sim, procs, coord = build()
+    sim.scheduler.at(5.0, lambda: coord.split([{0, 1, 2}, {3, 4}]))
+    sim.scheduler.at(6.0, lambda: procs[0].send_app_message(1, "maj"))
+    sim.scheduler.at(6.0, lambda: procs[3].send_app_message(4, "min"))
+    sim.run(until=20.0)
+    assert coord.dormant == {3, 4}
+    assert procs[3].crashed and procs[4].crashed  # regarded as failed
+    # Majority-side traffic flows.
+    assert procs[1].app.consumed == 1
+    # Minority traffic went nowhere (dormant processes do not send).
+    assert procs[4].app.consumed == 0
+
+
+def test_majority_checkpointing_continues_during_partition():
+    sim, procs, coord = build()
+    sim.scheduler.at(2.0, lambda: procs[0].send_app_message(1, "m"))
+    sim.scheduler.at(5.0, lambda: coord.split([{0, 1, 2}, {3, 4}]))
+    sim.scheduler.at(8.0, lambda: procs[1].initiate_checkpoint())
+    sim.run(until=40.0)
+    assert procs[1].store.oldchkpt.seq >= 2
+    assert procs[0].store.oldchkpt.seq >= 2
+
+
+def test_merge_wakes_minority_via_rule3():
+    sim, procs, coord = build()
+    sim.scheduler.at(2.0, lambda: procs[3].send_app_message(4, "m"))
+    sim.scheduler.at(5.0, lambda: coord.split([{0, 1, 2}, {3, 4}]))
+    sim.scheduler.at(20.0, lambda: coord.heal())
+    sim.run(until=120.0)
+    assert coord.dormant == set()
+    assert not procs[3].crashed and not procs[4].crashed
+    # The woken processes performed their rule-3 recovery rollback.
+    rolls = [e for e in sim.trace.of_kind("rollback") if e.pid in (3, 4)]
+    assert rolls
+    check_recovery_line(procs.values())
+    check_app_states(procs.values())
+
+
+def test_no_majority_everyone_dormant():
+    sim, procs, coord = build(n=4)
+    sim.scheduler.at(5.0, lambda: coord.split([{0, 1}, {2, 3}]))
+    sim.run(until=20.0)
+    assert coord.dormant == {0, 1, 2, 3}
+
+
+def test_relative_majority_after_second_split():
+    sim, procs, coord = build(n=5)
+    sim.scheduler.at(5.0, lambda: coord.split([{0, 1, 2}, {3, 4}]))
+    sim.scheduler.at(10.0, lambda: coord.heal())
+    sim.run(until=12.0)
+    # The previous major {0,1,2} splits; {0,1} holds 2 of its 3 votes.
+    # (Re-splitting without healing would need nested partitions; the
+    # registry's relative rule is what we exercise here.)
+    reg = coord.votes
+    labels = reg.classify([{0, 1}, {2}, {3, 4}])
+    # After the heal the reference is everyone again: no fragment has an
+    # absolute majority, and none has a relative one either.
+    assert set(labels.values()) == {"minor"}
+
+
+def test_partition_then_workload_consistency():
+    for seed in range(3):
+        sim, procs, coord = build(n=5, seed=seed)
+        coord.schedule_split(15.0, [{0, 1, 2}, {3, 4}])
+        coord.schedule_heal(35.0)
+        run_random_workload(
+            sim, procs, duration=50.0, checkpoint_rate=0.04,
+            error_rate=0.01, horizon=300.0,
+        )
+        alive = [p for p in procs.values() if not p.crashed]
+        for p in alive:
+            assert not p.comm_suspended and not p.send_suspended
+        check_recovery_line(alive)
+        check_app_states(alive)

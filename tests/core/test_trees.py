@@ -1,0 +1,112 @@
+"""Unit tests for per-instance tree state and the registry."""
+
+import pytest
+
+from repro.core.trees import ChkptTreeState, RollTreeState, TreeRegistry
+from repro.errors import ProtocolError
+from repro.types import TreeId
+
+T1 = TreeId(0, 0)
+T2 = TreeId(1, 0)
+
+
+def test_chkpt_ack_collection():
+    tree = ChkptTreeState(tree=T1, parent=None, pending_acks={1, 2, 3})
+    tree.record_ack(1, positive=True)
+    tree.record_ack(2, positive=False)
+    assert tree.true_children == {1}
+    assert tree.pending_acks == {3}
+    assert not tree.subtree_ready
+    tree.record_ack(3, positive=True)
+    assert not tree.subtree_ready  # child 1 and 3 must still respond
+    tree.record_ready(1)
+    tree.record_ready(3)
+    assert tree.subtree_ready
+
+
+def test_chkpt_duplicate_acks_ignored():
+    tree = ChkptTreeState(tree=T1, parent=None, pending_acks={1})
+    tree.record_ack(1, True)
+    tree.record_ack(1, False)  # late duplicate, ignored
+    assert tree.true_children == {1}
+
+
+def test_chkpt_ready_overtaking_ack():
+    """Non-FIFO: ready_to_commit can arrive before the pos_ack."""
+    tree = ChkptTreeState(tree=T1, parent=None, pending_acks={1})
+    tree.record_ready(1)
+    assert 1 in tree.true_children and 1 in tree.ready_children
+    tree.record_ack(1, True)  # late ack ignored
+    assert tree.subtree_ready
+
+
+def test_chkpt_drop_child():
+    tree = ChkptTreeState(tree=T1, parent=None, pending_acks={1, 2})
+    tree.record_ack(1, True)
+    tree.drop_child(1)
+    tree.drop_child(2)
+    assert tree.subtree_ready
+
+
+def test_chkpt_rounds_chain_oldest_first():
+    old = ChkptTreeState(tree=T1, parent=3)
+    mid = ChkptTreeState(tree=T1, parent=4, older=old)
+    new = ChkptTreeState(tree=T1, parent=5, older=mid)
+    assert [s.parent for s in new.chain()] == [3, 4, 5]
+
+
+def test_roll_completion_collection():
+    tree = RollTreeState(tree=T1, parent=0, pending_acks={1, 2})
+    tree.record_ack(1, True)
+    tree.record_ack(2, False)
+    assert not tree.subtree_complete
+    tree.record_complete(1)
+    assert tree.subtree_complete
+
+
+def test_roll_complete_overtaking_ack():
+    tree = RollTreeState(tree=T1, parent=0, pending_acks={1})
+    tree.record_complete(1)
+    assert tree.subtree_complete
+
+
+def test_registry_membership_and_open():
+    reg = TreeRegistry()
+    assert not reg.chkpt_member(T1)
+    reg.open_chkpt(T1, parent=None)
+    assert reg.chkpt_member(T1)
+    with pytest.raises(ProtocolError):
+        reg.open_chkpt(T1, parent=2)
+    reg.open_roll(T2, parent=1)
+    assert reg.roll_member(T2)
+    with pytest.raises(ProtocolError):
+        reg.open_roll(T2, parent=3)
+
+
+def test_registry_rounds():
+    reg = TreeRegistry()
+    first = reg.open_chkpt(T1, parent=None)
+    second = reg.open_chkpt_round(T1, parent=2)
+    assert second.older is first
+    assert reg.chkpt[T1] is second
+    assert [s.parent for s in reg.chkpt_rounds(T1)] == [None, 2]
+    # A closed previous round is dropped, not chained.
+    second.closed = True
+    third = reg.open_chkpt_round(T1, parent=3)
+    assert third.older is None
+
+
+def test_registry_all_chkpt_rounds():
+    reg = TreeRegistry()
+    reg.open_chkpt(T1, parent=None)
+    reg.open_chkpt_round(T1, parent=2)
+    reg.open_chkpt(T2, parent=1)
+    assert len(reg.all_chkpt_rounds()) == 3
+
+
+def test_registry_clear_volatile():
+    reg = TreeRegistry()
+    reg.open_chkpt(T1, parent=None)
+    reg.open_roll(T2, parent=0)
+    reg.clear_volatile()
+    assert not reg.chkpt and not reg.roll

@@ -1,0 +1,81 @@
+"""Unit tests for weighted voting and majority-partition determination."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.failure import VoteRegistry
+
+
+def test_uniform_assignment():
+    reg = VoteRegistry.uniform([0, 1, 2, 3, 4])
+    assert reg.total_votes == 5
+    assert reg.weight([0, 1]) == 2
+
+
+def test_invalid_assignments_rejected():
+    with pytest.raises(ProtocolError):
+        VoteRegistry({})
+    with pytest.raises(ProtocolError):
+        VoteRegistry({0: 0})
+    with pytest.raises(ProtocolError):
+        VoteRegistry({0: -2})
+
+
+def test_absolute_majority_is_strict():
+    reg = VoteRegistry.uniform(range(4))  # total 4
+    assert not reg.is_absolute_majority([0, 1])       # exactly half
+    assert reg.is_absolute_majority([0, 1, 2])
+
+
+def test_weighted_majority():
+    reg = VoteRegistry({0: 3, 1: 1, 2: 1})
+    assert reg.is_absolute_majority([0])       # 3 of 5
+    assert not reg.is_absolute_majority([1, 2])
+
+
+def test_classify_major_minor():
+    reg = VoteRegistry.uniform(range(5))
+    labels = reg.classify([{0, 1, 2}, {3, 4}])
+    assert labels[frozenset({0, 1, 2})] == "major"
+    assert labels[frozenset({3, 4})] == "minor"
+    assert reg.current_major == frozenset({0, 1, 2})
+
+
+def test_classify_no_majority_all_minor():
+    reg = VoteRegistry.uniform(range(4))
+    labels = reg.classify([{0, 1}, {2, 3}])
+    assert set(labels.values()) == {"minor"}
+
+
+def test_relative_majority_after_major_split():
+    """Paper: a fragment with more than half of the previous major's votes
+    becomes the new major, even without an absolute system majority."""
+    reg = VoteRegistry.uniform(range(5))
+    reg.classify([{0, 1, 2}, {3, 4}])  # major = {0,1,2}
+    labels = reg.classify([{0, 1}, {2}, {3, 4}])
+    # {0,1} holds 2 of the previous major's 3 votes -> relative major,
+    # despite holding only 2 of the system's 5.
+    assert labels[frozenset({0, 1})] == "major"
+    assert reg.current_major == frozenset({0, 1})
+
+
+def test_relative_majority_is_strict_too():
+    reg = VoteRegistry.uniform(range(4))
+    reg.classify([{0, 1, 2}, {3}])  # major = {0,1,2}
+    labels = reg.classify([{0}, {1, 2}, {3}])
+    # {1,2} holds 2 of the previous major's 3 votes -> new major.
+    assert labels[frozenset({1, 2})] == "major"
+
+
+def test_merge_resets_reference_population():
+    reg = VoteRegistry.uniform(range(5))
+    reg.classify([{0, 1, 2}, {3, 4}])
+    reg.on_merge(range(5))
+    assert reg.current_major == frozenset(range(5))
+
+
+def test_absolute_majority_beats_relative():
+    reg = VoteRegistry.uniform(range(5))
+    reg.classify([{0, 1}, {2, 3, 4}])  # major = {2,3,4}
+    labels = reg.classify([{0, 1, 2, 3}, {4}])
+    assert labels[frozenset({0, 1, 2, 3})] == "major"

@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example runs end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "transaction_pipeline.py",
+    "resilient_cluster.py",
+    "algorithm_comparison.py",
+    "paper_figures.py",
+]
+
+ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "examples", script)],
+        capture_output=True, text=True, timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_quickstart_output_shape():
+    result = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "examples", "quickstart.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert "checkpoint tree" in result.stdout
+    assert "consistency checks passed" in result.stdout

@@ -1,0 +1,97 @@
+"""End-to-end failure and partition scenarios (Section 6 at system scale)."""
+
+import pytest
+
+from repro.analysis import check_app_states, check_recovery_line
+from repro.core import CheckpointProcess, PartitionCoordinator, ProtocolConfig
+from repro.failure import FailureInjector, VoteRegistry
+from repro.net import ExponentialDelay
+from repro.testing import build_sim, run_random_workload
+
+
+def build(n=6, seed=0):
+    sim, procs = build_sim(
+        n=n, seed=seed, delay=ExponentialDelay(mean=1.0),
+        config=ProtocolConfig(failure_resilience=True),
+        detector_latency=2.0, spoolers=True,
+    )
+    return sim, procs
+
+
+def quiesced_alive(procs):
+    alive = [p for p in procs.values() if not p.crashed]
+    for p in alive:
+        assert not p.comm_suspended, f"P{p.node_id} comm stuck"
+        assert not p.send_suspended, f"P{p.node_id} send stuck"
+    return alive
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_double_crash_and_recovery(seed):
+    sim, procs = build(seed=seed)
+    inj = FailureInjector(sim)
+    inj.crash_at(20.0, pid=seed % 6)
+    inj.crash_at(25.0, pid=(seed + 3) % 6)
+    inj.recover_at(45.0, pid=seed % 6)
+    inj.recover_at(50.0, pid=(seed + 3) % 6)
+    run_random_workload(sim, procs, duration=60.0, checkpoint_rate=0.05,
+                        error_rate=0.01, horizon=400.0, max_events=500000)
+    alive = quiesced_alive(procs)
+    check_recovery_line(alive)
+    check_app_states(alive)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_triple_crash_majority_survives(seed):
+    sim, procs = build(n=7, seed=seed)
+    inj = FailureInjector(sim)
+    for offset, when in ((0, 15.0), (2, 20.0), (4, 25.0)):
+        inj.crash_at(when, pid=(seed + offset) % 7)
+    for offset, when in ((0, 50.0), (2, 55.0), (4, 60.0)):
+        inj.recover_at(when, pid=(seed + offset) % 7)
+    run_random_workload(sim, procs, duration=70.0, checkpoint_rate=0.04,
+                        error_rate=0.01, horizon=400.0, max_events=600000)
+    alive = quiesced_alive(procs)
+    check_recovery_line(alive)
+    check_app_states(alive)
+
+
+def test_crash_without_recovery_leaves_survivors_consistent():
+    sim, procs = build(seed=1)
+    inj = FailureInjector(sim)
+    inj.crash_at(20.0, pid=2)  # never recovers
+    run_random_workload(sim, procs, duration=60.0, checkpoint_rate=0.05,
+                        error_rate=0.01, horizon=400.0, max_events=500000)
+    alive = quiesced_alive(procs)
+    assert len(alive) == 5
+    check_recovery_line(alive)
+    check_app_states(alive)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_partition_split_and_heal(seed):
+    sim, procs = build(seed=seed)
+    coord = PartitionCoordinator(sim, VoteRegistry.uniform(range(6)))
+    coord.schedule_split(20.0, [{0, 1, 2, 3}, {4, 5}])
+    coord.schedule_heal(45.0)
+    run_random_workload(sim, procs, duration=60.0, checkpoint_rate=0.04,
+                        error_rate=0.01, horizon=400.0, max_events=500000)
+    alive = quiesced_alive(procs)
+    assert len(alive) == 6  # everyone woke up after the heal
+    check_recovery_line(alive)
+    check_app_states(alive)
+
+
+def test_weighted_votes_decide_the_major_side():
+    """A 2-process group with a heavyweight voter outweighs a 3-process one."""
+    sim, procs = build(n=5, seed=2)
+    votes = VoteRegistry({0: 5, 1: 1, 2: 1, 3: 1, 4: 1})
+    coord = PartitionCoordinator(sim, votes)
+    sim.scheduler.at(10.0, lambda: coord.split([{0, 1}, {2, 3, 4}]))
+    sim.run(until=15.0)
+    assert coord.dormant == {2, 3, 4}
+    assert not procs[0].crashed and not procs[1].crashed
+    sim.scheduler.at(16.0, lambda: coord.heal())
+    sim.run(until=200.0)
+    alive = quiesced_alive(procs)
+    check_recovery_line(alive)

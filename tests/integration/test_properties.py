@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Two layers: pure data-structure properties (ledger, votes, recovery line)
+and whole-protocol properties driven by generated workload parameters.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    check_app_states,
+    check_quiescent,
+    check_recovery_line,
+)
+from repro.analysis.domino import CheckpointView, recovery_line
+from repro.core.labels import LabelLedger
+from repro.failure import VoteRegistry
+from repro.net import ExponentialDelay, UniformDelay
+from repro.testing import build_sim, run_random_workload
+from repro.types import MessageId
+
+# ----------------------------------------------------------------------
+# Ledger properties
+# ----------------------------------------------------------------------
+
+ledger_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("send"), st.integers(1, 4)),
+        st.tuples(st.just("recv"), st.integers(1, 4)),
+        st.tuples(st.just("advance"), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+def apply_ops(ops):
+    led = LabelLedger(0)
+    led.n = 1
+    peer_label = {p: 1 for p in range(1, 5)}
+    k = 0
+    for op, arg in ops:
+        if op == "send":
+            led.record_send(MessageId(0, k), dst=arg)
+            k += 1
+        elif op == "recv":
+            led.record_receive(MessageId(arg, k), src=arg, label=peer_label[arg])
+            peer_label[arg] += 1
+            k += 1
+        else:
+            led.advance()
+    return led
+
+
+@given(ledger_ops)
+def test_labels_never_exceed_counter(ops):
+    led = apply_ops(ops)
+    assert all(r.label <= led.n for r in led.sent)
+    assert all(r.interval <= led.n for r in led.received)
+
+
+@given(ledger_ops, st.integers(1, 10))
+def test_rollback_undoes_exactly_the_suffix(ops, restored):
+    led = apply_ops(ops)
+    led.undo_for_rollback(restored)
+    for r in led.sent:
+        assert r.undone == (r.label >= restored)
+    for r in led.received:
+        assert r.undone == (r.interval >= restored)
+
+
+@given(ledger_ops, st.integers(1, 10), st.integers(1, 10))
+def test_rollback_monotone_and_idempotent(ops, a, b):
+    lo, hi = min(a, b), max(a, b)
+    led = apply_ops(ops)
+    led.undo_for_rollback(hi)
+    extra, _ = led.undo_for_rollback(hi)
+    assert extra == []  # idempotent
+    led.undo_for_rollback(lo)  # deeper rollback only adds undone records
+    for r in led.sent:
+        assert r.undone == (r.label >= lo)
+
+
+@given(ledger_ops)
+def test_senders_in_range_is_union_of_intervals(ops):
+    led = apply_ops(ops)
+    lo, hi = 1, max(led.n, 1)
+    merged = {}
+    for interval in range(lo, hi + 1):
+        for src, label in led.senders_in_interval(interval).items():
+            merged[src] = max(merged.get(src, 0), label)
+    assert led.senders_in_range(lo, hi) == merged
+
+
+# ----------------------------------------------------------------------
+# Voting properties
+# ----------------------------------------------------------------------
+
+@given(
+    st.dictionaries(st.integers(0, 9), st.integers(1, 5), min_size=2, max_size=10),
+    st.data(),
+)
+def test_at_most_one_major_partition(votes, data):
+    reg = VoteRegistry(votes)
+    pids = sorted(votes)
+    cut = data.draw(st.integers(1, len(pids) - 1))
+    groups = [set(pids[:cut]), set(pids[cut:])]
+    labels = reg.classify(groups)
+    assert list(labels.values()).count("major") <= 1
+
+
+@given(st.dictionaries(st.integers(0, 9), st.integers(1, 5), min_size=1, max_size=10))
+def test_whole_system_is_always_major(votes):
+    reg = VoteRegistry(votes)
+    labels = reg.classify([set(votes)])
+    assert list(labels.values()) == ["major"]
+
+
+# ----------------------------------------------------------------------
+# Recovery-line properties
+# ----------------------------------------------------------------------
+
+@st.composite
+def histories_strategy(draw):
+    n = draw(st.integers(2, 4))
+    depth = draw(st.integers(1, 4))
+    # Random message keys; each history's view k reflects a random subset
+    # of sends (its own) and receives (others'), growing with k.
+    histories = {}
+    sends = {p: {(p, i) for i in range(draw(st.integers(0, 4)))} for p in range(n)}
+    all_msgs = sorted(set().union(*sends.values()))
+    for p in range(n):
+        views = [CheckpointView(1, set(), set())]
+        sent_so_far, recv_so_far = set(), set()
+        for k in range(depth):
+            new_sent = draw(st.sets(st.sampled_from(sorted(sends[p]) or [(p, 99)]),
+                                    max_size=len(sends[p])))
+            others = [m for m in all_msgs if m[0] != p]
+            new_recv = draw(st.sets(st.sampled_from(others), max_size=len(others))) if others else set()
+            sent_so_far |= {m for m in new_sent if m in sends[p]}
+            recv_so_far |= set(new_recv)
+            views.append(CheckpointView(k + 2, set(recv_so_far), set(sent_so_far)))
+        histories[p] = views
+    return histories
+
+
+@settings(max_examples=50, deadline=None)
+@given(histories_strategy())
+def test_recovery_line_is_consistent_and_maximal_downwards(histories):
+    start = {p: len(v) - 1 for p, v in histories.items()}
+    line = recovery_line(histories, start)
+    # The line never exceeds the start and is itself consistent.
+    for p in line:
+        assert 0 <= line[p] <= start[p]
+    sent_union = {p: histories[p][line[p]].sent for p in line}
+    for p in line:
+        for src, idx in histories[p][line[p]].recv:
+            if src in line and line[p] > 0:
+                assert (src, idx) in sent_union[src]
+
+
+# ----------------------------------------------------------------------
+# Whole-protocol properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 6),
+    message_rate=st.floats(0.2, 2.0),
+    checkpoint_rate=st.floats(0.0, 0.15),
+    error_rate=st.floats(0.0, 0.05),
+)
+def test_protocol_invariants_hold_for_generated_workloads(
+    seed, n, message_rate, checkpoint_rate, error_rate
+):
+    sim, procs = build_sim(n=n, seed=seed, delay=ExponentialDelay(mean=0.8))
+    run_random_workload(
+        sim, procs, duration=25.0, message_rate=message_rate,
+        checkpoint_rate=checkpoint_rate, error_rate=error_rate,
+    )
+    check_quiescent(procs.values())
+    check_recovery_line(procs.values())
+    check_app_states(procs.values())
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(2, 5))
+def test_k_simultaneous_initiators_all_terminate(seed, k):
+    """The concurrency claim as a property: k instances, zero blocking."""
+    sim, procs = build_sim(n=6, seed=seed, delay=UniformDelay(0.3, 0.9))
+    run_random_workload(sim, procs, duration=15.0, message_rate=1.0)
+    for pid in range(k):
+        procs[pid].initiate_checkpoint()
+    sim.run()
+    check_quiescent(procs.values())
+    check_recovery_line(procs.values())

@@ -1,0 +1,105 @@
+"""Randomized integration sweeps: the theorems as statistical assertions.
+
+These runs exercise the full stack (concurrent instances, rollbacks,
+non-FIFO channels) and assert the correctness theorems' claims via the
+trace oracles.  Seed counts are kept modest for suite speed; the benchmark
+suite runs the large sweeps.
+"""
+
+import pytest
+
+from repro.analysis import (
+    check_app_states,
+    check_checkpoint_minimality,
+    check_quiescent,
+    check_recovery_line,
+    check_rollback_minimality,
+    reconstruct_trees,
+)
+from repro.net import AdversarialReorderDelay, ExponentialDelay, LossyDelay, UniformDelay
+from repro.testing import build_sim, run_random_workload
+
+SEEDS = range(8)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_theorem1_and_2_nonfifo(seed):
+    """Theorem 1 (termination) + Theorem 2 (consistency) on non-FIFO
+    channels with concurrent checkpoints and rollbacks."""
+    sim, procs = build_sim(n=5, seed=seed, delay=ExponentialDelay(mean=1.0))
+    run_random_workload(sim, procs, duration=50.0, checkpoint_rate=0.06,
+                        error_rate=0.02)
+    check_quiescent(procs.values())
+    check_recovery_line(procs.values())
+    check_app_states(procs.values())
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_adversarial_reordering(seed):
+    sim, procs = build_sim(
+        n=4, seed=seed, delay=AdversarialReorderDelay(short=0.1, long=4.0)
+    )
+    run_random_workload(sim, procs, duration=40.0, checkpoint_rate=0.06,
+                        error_rate=0.02)
+    check_quiescent(procs.values())
+    check_recovery_line(procs.values())
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_lossy_channels(seed):
+    """Message loss is retransmission latency; correctness is unaffected."""
+    sim, procs = build_sim(
+        n=4, seed=seed,
+        delay=LossyDelay(UniformDelay(0.3, 0.8), loss_probability=0.2),
+    )
+    run_random_workload(sim, procs, duration=40.0, checkpoint_rate=0.06,
+                        error_rate=0.02)
+    check_quiescent(procs.values())
+    check_recovery_line(procs.values())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_theorem3_minimality_of_isolated_instances(seed):
+    """Every committed isolated instance recruited only necessary processes."""
+    sim, procs = build_sim(n=5, seed=seed, delay=UniformDelay(0.3, 0.7))
+    run_random_workload(sim, procs, duration=30.0, message_rate=0.8)
+    # One isolated instance at the end of the quiet period.
+    procs[seed % 5].initiate_checkpoint()
+    sim.run()
+    trees = reconstruct_trees(sim.trace)
+    committed = [t for t, v in trees.items()
+                 if v.kind == "checkpoint" and v.decided == "commit"]
+    assert committed
+    check_checkpoint_minimality(sim.trace, procs.values(), committed[-1])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_theorem4_minimality_of_isolated_rollbacks(seed):
+    sim, procs = build_sim(n=5, seed=seed, delay=UniformDelay(0.3, 0.7))
+    run_random_workload(sim, procs, duration=30.0, message_rate=0.8)
+    procs[seed % 5].initiate_rollback()
+    sim.run()
+    trees = reconstruct_trees(sim.trace)
+    rollbacks = [t for t, v in trees.items() if v.kind == "rollback"]
+    assert rollbacks
+    check_rollback_minimality(sim.trace, rollbacks[-1])
+
+
+def test_determinism_same_seed_same_trace():
+    def run(seed):
+        sim, procs = build_sim(n=4, seed=seed, delay=ExponentialDelay(mean=1.0))
+        run_random_workload(sim, procs, duration=30.0, checkpoint_rate=0.05,
+                            error_rate=0.02)
+        return [repr(e) for e in sim.trace]
+
+    assert run(11) == run(11)
+    assert run(11) != run(12)
+
+
+def test_scales_to_more_processes():
+    sim, procs = build_sim(n=12, seed=3, delay=UniformDelay(0.3, 0.9))
+    run_random_workload(sim, procs, duration=30.0, checkpoint_rate=0.04,
+                        error_rate=0.01)
+    check_quiescent(procs.values())
+    check_recovery_line(procs.values())
+    check_app_states(procs.values())

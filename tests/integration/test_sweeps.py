@@ -1,0 +1,93 @@
+"""Broad randomized sweeps — Theorem 1/2 at volume.
+
+These compress the development-time stress harness (hundreds of seeds per
+configuration) into suite-sized sweeps.  Every run is checked against the
+full oracle set; one failing seed fails the sweep with its seed number.
+"""
+
+import pytest
+
+from repro.analysis import check_app_states, check_quiescent, check_recovery_line
+from repro.net import ExponentialDelay, UniformDelay
+from repro.testing import build_sim, run_random_workload
+
+
+def oracle_sweep(seeds, build, drive):
+    failures = []
+    for seed in seeds:
+        sim, procs = build(seed)
+        try:
+            drive(sim, procs)
+            check_quiescent(procs.values())
+            check_recovery_line(procs.values())
+            check_app_states(procs.values())
+        except Exception as exc:  # noqa: BLE001 - reported with the seed
+            failures.append((seed, f"{type(exc).__name__}: {exc}"))
+    assert not failures, failures
+
+
+def test_hundred_seed_concurrent_sweep():
+    oracle_sweep(
+        range(100),
+        lambda seed: build_sim(n=6, seed=seed, delay=ExponentialDelay(mean=1.0)),
+        lambda sim, procs: run_random_workload(
+            sim, procs, duration=50.0, checkpoint_rate=0.05, error_rate=0.02
+        ),
+    )
+
+
+def test_failure_sweep():
+    """Thirty seeds of double-crash-and-recover under the Section 6 rules."""
+    from repro.core import ProtocolConfig
+    from repro.failure import FailureInjector
+
+    def build(seed):
+        return build_sim(
+            n=6, seed=seed, delay=ExponentialDelay(mean=1.0),
+            config=ProtocolConfig(failure_resilience=True),
+            detector_latency=2.0, spoolers=True,
+        )
+
+    failures = []
+    for seed in range(30):
+        sim, procs = build(seed)
+        inj = FailureInjector(sim)
+        inj.crash_at(20.0, pid=seed % 6)
+        inj.crash_at(25.0, pid=(seed + 3) % 6)
+        inj.recover_at(45.0, pid=seed % 6)
+        inj.recover_at(50.0, pid=(seed + 3) % 6)
+        try:
+            run_random_workload(sim, procs, duration=60.0, checkpoint_rate=0.05,
+                                error_rate=0.01, horizon=400.0, max_events=500000)
+            alive = [p for p in procs.values() if not p.crashed]
+            for p in alive:
+                assert not p.comm_suspended and not p.send_suspended
+            check_recovery_line(alive)
+            check_app_states(alive)
+        except Exception as exc:  # noqa: BLE001
+            failures.append((seed, f"{type(exc).__name__}: {exc}"))
+    assert not failures, failures
+
+
+def test_high_contention_sweep():
+    """Checkpoint and error rates cranked up: instances constantly overlap."""
+    oracle_sweep(
+        range(20),
+        lambda seed: build_sim(n=5, seed=seed, delay=UniformDelay(0.2, 1.8)),
+        lambda sim, procs: run_random_workload(
+            sim, procs, duration=40.0, message_rate=2.0,
+            checkpoint_rate=0.2, error_rate=0.08,
+        ),
+    )
+
+
+@pytest.mark.parametrize("n", [2, 3, 9, 16])
+def test_size_sweep(n):
+    oracle_sweep(
+        range(5),
+        lambda seed: build_sim(n=n, seed=seed, delay=ExponentialDelay(mean=0.8)),
+        lambda sim, procs: run_random_workload(
+            sim, procs, duration=30.0, checkpoint_rate=0.05, error_rate=0.02,
+            max_events=600000,
+        ),
+    )

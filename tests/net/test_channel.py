@@ -1,0 +1,47 @@
+"""Unit tests for channel ordering disciplines."""
+
+from repro.net.channel import FifoChannel, NonFifoChannel
+
+
+def test_non_fifo_uses_raw_delay():
+    ch = NonFifoChannel()
+    assert ch.delivery_time(0, 1, send_time=10.0, delay=2.0) == 12.0
+    # A later, faster message may overtake.
+    assert ch.delivery_time(0, 1, send_time=11.0, delay=0.1) == 11.1
+
+
+def test_fifo_clamps_to_preserve_order():
+    ch = FifoChannel(epsilon=0.001)
+    first = ch.delivery_time(0, 1, send_time=0.0, delay=5.0)
+    second = ch.delivery_time(0, 1, send_time=1.0, delay=0.1)
+    assert first == 5.0
+    assert second == 5.001  # clamped behind the slow one
+
+
+def test_fifo_channels_are_independent_per_direction():
+    ch = FifoChannel()
+    slow = ch.delivery_time(0, 1, 0.0, 5.0)
+    other = ch.delivery_time(1, 0, 0.0, 0.1)  # reverse direction unaffected
+    assert other == 0.1
+    third = ch.delivery_time(2, 1, 0.0, 0.1)  # different source unaffected
+    assert third == 0.1
+    assert slow == 5.0
+
+
+def test_fifo_no_clamp_when_order_natural():
+    ch = FifoChannel()
+    a = ch.delivery_time(0, 1, 0.0, 1.0)
+    b = ch.delivery_time(0, 1, 2.0, 1.0)
+    assert (a, b) == (1.0, 3.0)
+
+
+def test_fifo_reset_clears_history():
+    ch = FifoChannel()
+    ch.delivery_time(0, 1, 0.0, 5.0)
+    ch.reset()
+    assert ch.delivery_time(0, 1, 0.0, 0.1) == 0.1
+
+
+def test_flags():
+    assert FifoChannel.fifo is True
+    assert NonFifoChannel.fifo is False

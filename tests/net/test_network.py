@@ -1,0 +1,142 @@
+"""Unit tests for the network router: partitions, crashes, spooling."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import FixedDelay, control, normal
+from repro.sim import Node, Simulation
+from repro.types import MessageId
+
+
+class Probe(Node):
+    def __init__(self, nid):
+        super().__init__(nid)
+        self.received = []
+
+    def on_envelope(self, envelope):
+        self.received.append(envelope)
+
+
+def make_sim(n=3):
+    sim = Simulation(seed=0, delay_model=FixedDelay(1.0))
+    nodes = [sim.add_node(Probe(i)) for i in range(n)]
+    return sim, nodes
+
+
+def msg(src, dst, k=0, body="x"):
+    return normal(src, dst, MessageId(src, k), label=1, body=body)
+
+
+def test_unknown_destination_raises():
+    sim, _ = make_sim()
+    with pytest.raises(NetworkError):
+        sim.network.transmit(msg(0, 99))
+
+
+def test_counters_track_categories():
+    sim, nodes = make_sim()
+    nodes[0].send(msg(0, 1))
+    nodes[0].send(control(0, 1, body="ctl"))
+    sim.run()
+    assert sim.network.normal_sent == 1
+    assert sim.network.control_sent == 1
+    assert sim.network.delivered == 2
+
+
+def test_partition_blocks_cross_group_traffic():
+    sim, nodes = make_sim(4)
+    sim.network.partition([{0, 1}, {2, 3}])
+    nodes[0].send(msg(0, 1, 0))  # same group: delivered
+    nodes[0].send(msg(0, 2, 1))  # cross group: dropped
+    sim.run()
+    assert len(nodes[1].received) == 1
+    assert len(nodes[2].received) == 0
+    assert sim.network.dropped == 1
+
+
+def test_partition_checked_at_delivery_time():
+    """A message in flight when the partition heals is delivered."""
+    sim, nodes = make_sim(2)
+    sim.network.partition([{0}, {1}])
+    nodes[0].send(msg(0, 1))  # would arrive at t=1
+    sim.scheduler.at(0.5, sim.network.merge)
+    sim.run()
+    assert len(nodes[1].received) == 1
+
+
+def test_partition_validation():
+    sim, _ = make_sim(3)
+    with pytest.raises(NetworkError):
+        sim.network.partition([{0, 1}, {1, 2}])  # overlap
+    with pytest.raises(NetworkError):
+        sim.network.partition([{0}, {1}])  # missing node 2
+
+
+def test_group_of_and_reachable():
+    sim, _ = make_sim(4)
+    assert sim.network.reachable(0, 3)
+    sim.network.partition([{0, 1}, {2, 3}])
+    assert sim.network.group_of(0) == frozenset({0, 1})
+    assert sim.network.reachable(0, 1)
+    assert not sim.network.reachable(1, 2)
+    sim.network.merge()
+    assert sim.network.reachable(1, 2)
+
+
+def test_crashed_destination_drops_without_spooler():
+    sim, nodes = make_sim(2)
+    sim.crash(1)
+    nodes[0].send(msg(0, 1))
+    sim.run()
+    assert sim.network.dropped == 1
+    assert nodes[1].received == []
+
+
+def test_crashed_destination_spools_with_spooler():
+    sim, nodes = make_sim(3)
+    group = sim.network.install_spoolers(1, hosts=[2])
+    sim.crash(1)
+    nodes[0].send(msg(0, 1))
+    sim.run()
+    assert sim.network.spooled == 1
+    spooled = group.drain(sim.is_alive)
+    assert len(spooled) == 1
+    assert spooled[0].dst == 1
+
+
+def test_spool_lost_when_all_hosts_down():
+    sim, nodes = make_sim(3)
+    sim.network.install_spoolers(1, hosts=[2])
+    sim.crash(1)
+    sim.crash(2)
+    nodes[0].send(msg(0, 1))
+    sim.run()
+    assert sim.network.spooled == 0
+    assert sim.network.dropped == 1
+
+
+def test_redeliver_to_recovered_node():
+    sim, nodes = make_sim(3)
+    group = sim.network.install_spoolers(1, hosts=[2])
+    sim.crash(1)
+    nodes[0].send(msg(0, 1))
+    sim.run()
+    sim.recover(1)
+    for envelope in group.drain(sim.is_alive):
+        sim.network.redeliver(envelope)
+    assert len(nodes[1].received) == 1
+
+
+def test_redeliver_to_crashed_raises():
+    sim, nodes = make_sim(2)
+    sim.crash(1)
+    with pytest.raises(NetworkError):
+        sim.network.redeliver(msg(0, 1))
+
+
+def test_partition_and_merge_traced():
+    sim, _ = make_sim(2)
+    sim.network.partition([{0}, {1}])
+    sim.network.merge()
+    kinds = [e.kind for e in sim.trace]
+    assert "partition" in kinds and "merge" in kinds

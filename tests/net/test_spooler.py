@@ -1,0 +1,63 @@
+"""Unit tests for replicated message spoolers."""
+
+from repro.net.message import normal
+from repro.net.spooler import SpoolerGroup
+from repro.types import MessageId
+
+
+def env(k=0):
+    return normal(0, 9, MessageId(0, k), label=1, body=f"m{k}")
+
+
+def alive_all(pid):
+    return True
+
+
+def test_spool_records_on_all_live_replicas():
+    group = SpoolerGroup(owner=9, hosts=[1, 2])
+    assert group.spool(env(), alive_all)
+    assert all(len(r.envelopes) == 1 for r in group.replicas)
+
+
+def test_spool_skips_dead_replicas():
+    group = SpoolerGroup(owner=9, hosts=[1, 2])
+    alive = lambda pid: pid == 2
+    assert group.spool(env(), alive)
+    assert len(group.replicas[0].envelopes) == 0
+    assert len(group.replicas[1].envelopes) == 1
+
+
+def test_spool_fails_when_all_replicas_dead():
+    group = SpoolerGroup(owner=9, hosts=[1, 2])
+    assert not group.spool(env(), lambda pid: False)
+
+
+def test_drain_deduplicates_across_replicas():
+    group = SpoolerGroup(owner=9, hosts=[1, 2])
+    e = env()
+    group.spool(e, alive_all)
+    drained = group.drain(alive_all)
+    assert drained == [e]
+    # Drain clears.
+    assert group.drain(alive_all) == []
+
+
+def test_drain_only_reads_live_replicas():
+    group = SpoolerGroup(owner=9, hosts=[1, 2])
+    e = env()
+    group.spool(e, lambda pid: pid == 1)  # only replica on host 1
+    drained = group.drain(lambda pid: pid == 2)  # host 1 now dead
+    assert drained == []
+
+
+def test_decisions_recorded_and_queried():
+    group = SpoolerGroup(owner=9, hosts=[1, 2])
+    group.observe_decision(("commit", "t1"), alive_all)
+    seen = group.decisions_seen(alive_all)
+    assert ("commit", "t1") in seen
+
+
+def test_decisions_none_when_all_replicas_dead():
+    group = SpoolerGroup(owner=9, hosts=[1])
+    group.observe_decision(("commit", "t1"), alive_all)
+    assert group.decisions_seen(lambda pid: False) is None

@@ -1,0 +1,132 @@
+"""Unit tests for the Node actor base class."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net import FixedDelay, normal
+from repro.sim import Node, Simulation
+from repro.types import MessageId
+
+
+class Probe(Node):
+    def __init__(self, nid):
+        super().__init__(nid)
+        self.fired = []
+        self.received = []
+
+    def on_envelope(self, envelope):
+        self.received.append(envelope)
+
+
+def make_sim(n=2):
+    sim = Simulation(seed=0, delay_model=FixedDelay(1.0))
+    nodes = [sim.add_node(Probe(i)) for i in range(n)]
+    return sim, nodes
+
+
+def test_duplicate_node_id_rejected():
+    sim, _ = make_sim()
+    with pytest.raises(SimulationError):
+        sim.add_node(Probe(0))
+
+
+def test_unbound_node_has_no_sim():
+    node = Probe(9)
+    with pytest.raises(SimulationError):
+        node.sim
+
+
+def test_double_bind_rejected():
+    sim, nodes = make_sim()
+    with pytest.raises(SimulationError):
+        nodes[0].bind(sim)
+
+
+def test_send_delivers_via_network():
+    sim, (a, b) = make_sim()
+    a.send(normal(0, 1, MessageId(0, 0), label=1, body="hello"))
+    sim.run()
+    assert len(b.received) == 1
+    assert b.received[0].body == "hello"
+    assert b.received[0].deliver_time == 1.0
+
+
+def test_timer_fires_and_clears():
+    sim, (a, _) = make_sim()
+    a.set_timer("t", 2.0, lambda: a.fired.append(sim.now))
+    sim.run()
+    assert a.fired == [2.0]
+
+
+def test_timer_replace_cancels_previous():
+    sim, (a, _) = make_sim()
+    a.set_timer("t", 2.0, lambda: a.fired.append("first"))
+    a.set_timer("t", 3.0, lambda: a.fired.append("second"))
+    sim.run()
+    assert a.fired == ["second"]
+
+
+def test_timer_replace_false_raises_on_duplicate():
+    sim, (a, _) = make_sim()
+    a.set_timer("t", 2.0, lambda: None)
+    with pytest.raises(SimulationError):
+        a.set_timer("t", 3.0, lambda: None, replace=False)
+
+
+def test_cancel_timer():
+    sim, (a, _) = make_sim()
+    a.set_timer("t", 2.0, lambda: a.fired.append("x"))
+    a.cancel_timer("t")
+    sim.run()
+    assert a.fired == []
+
+
+def test_cancel_unknown_timer_is_noop():
+    sim, (a, _) = make_sim()
+    a.cancel_timer("missing")  # must not raise
+
+
+def test_crashed_node_timers_suppressed():
+    sim, (a, _) = make_sim()
+    a.set_timer("t", 5.0, lambda: a.fired.append("x"))
+    sim.scheduler.at(1.0, lambda: sim.crash(0))
+    sim.run()
+    assert a.fired == []
+
+
+def test_crashed_node_receives_nothing():
+    sim, (a, b) = make_sim()
+    sim.scheduler.at(0.5, lambda: sim.crash(1))
+    a.send(normal(0, 1, MessageId(0, 0), label=1, body="x"))
+    sim.run()
+    assert b.received == []
+
+
+def test_recover_restores_delivery():
+    sim, (a, b) = make_sim()
+    sim.scheduler.at(0.5, lambda: sim.crash(1))
+    sim.scheduler.at(2.0, lambda: sim.recover(1))
+    sim.scheduler.at(3.0, lambda: a.send(normal(0, 1, MessageId(0, 1), label=1, body="y")))
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_crash_twice_raises():
+    sim, _ = make_sim()
+    sim.crash(0)
+    with pytest.raises(SimulationError):
+        sim.crash(0)
+
+
+def test_recover_non_crashed_raises():
+    sim, _ = make_sim()
+    with pytest.raises(SimulationError):
+        sim.recover(0)
+
+
+def test_alive_processes():
+    sim, _ = make_sim(3)
+    sim.crash(1)
+    assert sim.alive_processes() == [0, 2]
+    assert not sim.is_alive(1)
+    assert sim.is_alive(0)

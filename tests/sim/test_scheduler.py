@@ -1,0 +1,163 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event import (
+    PRIORITY_CHECKPOINT,
+    PRIORITY_NORMAL,
+    PRIORITY_ROLLBACK,
+    PRIORITY_TIMER,
+)
+from repro.sim.scheduler import Scheduler
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    order = []
+    sched.at(3.0, lambda: order.append("c"))
+    sched.at(1.0, lambda: order.append("a"))
+    sched.at(2.0, lambda: order.append("b"))
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    sched = Scheduler()
+    order = []
+    for k in range(10):
+        sched.at(1.0, lambda k=k: order.append(k))
+    sched.run()
+    assert order == list(range(10))
+
+
+def test_priority_orders_same_instant_events():
+    sched = Scheduler()
+    order = []
+    sched.at(1.0, lambda: order.append("timer"), priority=PRIORITY_TIMER)
+    sched.at(1.0, lambda: order.append("normal"), priority=PRIORITY_NORMAL)
+    sched.at(1.0, lambda: order.append("ckpt"), priority=PRIORITY_CHECKPOINT)
+    sched.at(1.0, lambda: order.append("roll"), priority=PRIORITY_ROLLBACK)
+    sched.run()
+    assert order == ["roll", "ckpt", "normal", "timer"]
+
+
+def test_rollback_priority_is_highest():
+    assert PRIORITY_ROLLBACK < PRIORITY_CHECKPOINT < PRIORITY_NORMAL < PRIORITY_TIMER
+
+
+def test_now_advances_to_event_time():
+    sched = Scheduler()
+    seen = []
+    sched.at(5.0, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [5.0]
+    assert sched.now == 5.0
+
+
+def test_after_is_relative_to_now():
+    sched = Scheduler()
+    times = []
+    sched.at(10.0, lambda: sched.after(2.5, lambda: times.append(sched.now)))
+    sched.run()
+    assert times == [12.5]
+
+
+def test_scheduling_in_the_past_raises():
+    sched = Scheduler()
+    sched.at(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.at(3.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sched = Scheduler()
+    with pytest.raises(SimulationError):
+        sched.after(-1.0, lambda: None)
+
+
+def test_cancelled_events_are_skipped():
+    sched = Scheduler()
+    fired = []
+    event = sched.at(1.0, lambda: fired.append("cancelled"))
+    sched.at(2.0, lambda: fired.append("kept"))
+    event.cancel()
+    sched.run()
+    assert fired == ["kept"]
+
+
+def test_run_until_is_inclusive():
+    sched = Scheduler()
+    fired = []
+    sched.at(1.0, lambda: fired.append(1))
+    sched.at(2.0, lambda: fired.append(2))
+    sched.at(3.0, lambda: fired.append(3))
+    sched.run(until=2.0)
+    assert fired == [1, 2]
+    assert sched.now == 2.0
+
+
+def test_run_resumes_after_until():
+    sched = Scheduler()
+    fired = []
+    sched.at(1.0, lambda: fired.append(1))
+    sched.at(5.0, lambda: fired.append(5))
+    sched.run(until=2.0)
+    sched.run()
+    assert fired == [1, 5]
+
+
+def test_max_events_raises_on_runaway():
+    sched = Scheduler()
+
+    def reschedule():
+        sched.after(1.0, reschedule)
+
+    sched.at(0.0, reschedule)
+    with pytest.raises(SimulationError, match="livelock"):
+        sched.run(max_events=100)
+
+
+def test_events_processed_counter():
+    sched = Scheduler()
+    for k in range(7):
+        sched.at(float(k), lambda: None)
+    sched.run()
+    assert sched.events_processed == 7
+
+
+def test_step_returns_false_when_exhausted():
+    sched = Scheduler()
+    sched.at(1.0, lambda: None)
+    assert sched.step() is True
+    assert sched.step() is False
+
+
+def test_events_scheduled_during_run_are_processed():
+    sched = Scheduler()
+    order = []
+
+    def chain(n):
+        order.append(n)
+        if n < 3:
+            sched.after(1.0, lambda: chain(n + 1))
+
+    sched.at(0.0, lambda: chain(0))
+    sched.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_scheduler_not_reentrant():
+    sched = Scheduler()
+    errors = []
+
+    def reenter():
+        try:
+            sched.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sched.at(1.0, reenter)
+    sched.run()
+    assert len(errors) == 1

@@ -1,0 +1,85 @@
+"""Unit tests for the structured trace."""
+
+from repro.sim import trace as T
+from repro.sim.trace import Trace
+
+
+def make_trace():
+    tr = Trace()
+    tr.record(1.0, T.K_SEND, pid=0, msg_id="m1", dst=1, label=1)
+    tr.record(2.0, T.K_RECEIVE, pid=1, msg_id="m1", src=0, label=1)
+    tr.record(3.0, T.K_CHKPT_TENTATIVE, pid=1, seq=2, tree="t")
+    tr.record(4.0, T.K_CHKPT_COMMIT, pid=1, seq=2, tree="t")
+    tr.record(5.0, T.K_CRASH, pid=0)
+    return tr
+
+
+def test_records_are_ordered_and_indexed():
+    tr = make_trace()
+    assert len(tr) == 5
+    assert [e.index for e in tr] == [0, 1, 2, 3, 4]
+    assert tr[2].kind == T.K_CHKPT_TENTATIVE
+
+
+def test_field_attribute_access():
+    tr = make_trace()
+    assert tr[0].msg_id == "m1"
+    assert tr[0].dst == 1
+
+
+def test_missing_field_raises_attribute_error():
+    tr = make_trace()
+    try:
+        tr[0].nonexistent
+        assert False, "expected AttributeError"
+    except AttributeError:
+        pass
+
+
+def test_of_kind_filters():
+    tr = make_trace()
+    assert len(tr.of_kind(T.K_SEND)) == 1
+    assert len(tr.of_kind(T.K_SEND, T.K_RECEIVE)) == 2
+
+
+def test_for_process_filters():
+    tr = make_trace()
+    assert len(tr.for_process(1)) == 3
+    assert len(tr.for_process(1, T.K_CHKPT_COMMIT)) == 1
+
+
+def test_where_predicate():
+    tr = make_trace()
+    late = tr.where(lambda e: e.time >= 3.0)
+    assert len(late) == 3
+
+
+def test_last():
+    tr = make_trace()
+    assert tr.last(T.K_CHKPT_COMMIT).seq == 2
+    assert tr.last(T.K_SEND, pid=1) is None
+
+
+def test_dump_renders_lines():
+    tr = make_trace()
+    text = tr.dump(limit=2)
+    assert text.count("\n") == 1
+    assert "send" in text
+
+
+def test_to_jsonl_roundtrips(tmp_path):
+    import json
+
+    from repro.types import MessageId, TreeId
+
+    tr = Trace()
+    tr.record(1.0, T.K_SEND, pid=0, msg_id=MessageId(0, 0), dst=1, label=1)
+    tr.record(2.0, T.K_CHKPT_TENTATIVE, pid=1, seq=2, tree=TreeId(1, 0))
+    path = str(tmp_path / "trace.jsonl")
+    written = tr.to_jsonl(path)
+    assert written == 2
+    lines = [json.loads(line) for line in open(path)]
+    assert lines[0]["kind"] == "send"
+    assert lines[0]["msg_id"] == "m(P0#0)"
+    assert lines[1]["tree"] == "T(P1@0)"
+    assert lines[1]["time"] == 2.0

@@ -1,0 +1,93 @@
+"""Unit tests for stable storage backends."""
+
+import os
+
+import pytest
+
+from repro.errors import StableStorageError
+from repro.stable import FileStableStorage, InMemoryStableStorage
+
+
+@pytest.fixture(params=["memory", "file"])
+def storage(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryStableStorage()
+    return FileStableStorage(str(tmp_path / "stable"))
+
+
+def test_put_get_roundtrip(storage):
+    storage.put("k", {"a": 1, "b": [1, 2, 3]})
+    assert storage.get("k") == {"a": 1, "b": [1, 2, 3]}
+
+
+def test_get_missing_returns_default(storage):
+    assert storage.get("missing") is None
+    assert storage.get("missing", 42) == 42
+
+
+def test_overwrite(storage):
+    storage.put("k", 1)
+    storage.put("k", 2)
+    assert storage.get("k") == 2
+
+
+def test_delete(storage):
+    storage.put("k", 1)
+    storage.delete("k")
+    assert storage.get("k") is None
+    storage.delete("k")  # idempotent
+
+
+def test_contains(storage):
+    assert "k" not in storage
+    storage.put("k", 0)  # falsy value must still count as present
+    assert "k" in storage
+
+
+def test_keys_sorted(storage):
+    for name in ["b", "a", "c"]:
+        storage.put(name, 1)
+    assert list(storage.keys()) == ["a", "b", "c"]
+
+
+def test_memory_storage_is_copy_on_write():
+    storage = InMemoryStableStorage()
+    value = {"x": [1]}
+    storage.put("k", value)
+    value["x"].append(2)  # caller mutation must not leak in
+    assert storage.get("k") == {"x": [1]}
+    out = storage.get("k")
+    out["x"].append(3)  # reader mutation must not leak back
+    assert storage.get("k") == {"x": [1]}
+
+
+def test_file_storage_persists_across_instances(tmp_path):
+    root = str(tmp_path / "stable")
+    FileStableStorage(root).put("k", [1, 2])
+    assert FileStableStorage(root).get("k") == [1, 2]
+
+
+def test_file_storage_rejects_unserialisable(tmp_path):
+    storage = FileStableStorage(str(tmp_path / "stable"))
+    with pytest.raises(StableStorageError):
+        storage.put("k", object())
+
+
+def test_file_storage_detects_corruption(tmp_path):
+    root = str(tmp_path / "stable")
+    storage = FileStableStorage(root)
+    storage.put("k", 1)
+    path = os.path.join(root, "k.json")
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    with pytest.raises(StableStorageError):
+        storage.get("k")
+
+
+def test_file_storage_no_tmp_leftovers(tmp_path):
+    root = str(tmp_path / "stable")
+    storage = FileStableStorage(root)
+    for k in range(20):
+        storage.put(f"key{k}", k)
+    leftovers = [n for n in os.listdir(root) if n.startswith(".tmp-")]
+    assert leftovers == []
