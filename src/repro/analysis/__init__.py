@@ -1,15 +1,30 @@
-"""Trace analysis: happens-before, consistency oracles, minimality, metrics."""
+"""Trace analysis: happens-before, consistency oracles, minimality, metrics.
+
+Every consumer here reads the trace through
+:class:`~repro.analysis.index.TraceIndex`, the incrementally-maintained
+query index built at emit time (see :mod:`repro.analysis.index`).
+"""
 
 from repro.analysis.consistency import (
     check_app_states,
     check_c1,
+    check_c1_from_trace,
     check_no_dangling_receives,
+    check_no_dangling_receives_from_trace,
     check_quiescent,
     check_recovery_line,
+    check_recovery_line_from_trace,
 )
 from repro.analysis.diagram import space_time
-from repro.analysis.domino import domino_metrics, recovery_line, rollback_distance
+from repro.analysis.domino import (
+    domino_metrics,
+    domino_metrics_from_trace,
+    histories_from_trace,
+    recovery_line,
+    rollback_distance,
+)
 from repro.analysis.happens_before import HappensBefore
+from repro.analysis.index import ManifestView, TraceIndex, as_index
 from repro.analysis.minimality import (
     check_checkpoint_minimality,
     check_rollback_minimality,
@@ -20,16 +35,24 @@ from repro.analysis.tree_view import InstanceTree, reconstruct_trees
 __all__ = [
     "HappensBefore",
     "InstanceTree",
+    "ManifestView",
     "RunStats",
+    "TraceIndex",
+    "as_index",
     "check_app_states",
     "check_c1",
+    "check_c1_from_trace",
     "check_checkpoint_minimality",
     "check_no_dangling_receives",
+    "check_no_dangling_receives_from_trace",
     "check_quiescent",
     "check_recovery_line",
+    "check_recovery_line_from_trace",
     "check_rollback_minimality",
     "collect",
     "domino_metrics",
+    "domino_metrics_from_trace",
+    "histories_from_trace",
     "reconstruct_trees",
     "recovery_line",
     "rollback_distance",

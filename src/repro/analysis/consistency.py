@@ -15,12 +15,18 @@ stress suites use them as oracles.
 * :func:`check_app_states` — end-to-end: each application state digest
   matches a replay of exactly the live receives (so protocol bookkeeping and
   application state cannot drift apart).
+
+The ``*_from_trace`` variants run the same definitions against the
+:class:`~repro.analysis.index.TraceIndex`'s reconstructed manifests and
+ledger shadows instead of live process objects — so the oracles also apply
+to a trace loaded from disk (``load_jsonl``) long after the run is gone.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.analysis.index import as_index
 from repro.errors import ConsistencyViolation
 from repro.types import ProcessId
 
@@ -82,6 +88,62 @@ def check_recovery_line(processes: Iterable) -> None:
     processes = list(processes)
     check_c1(processes)
     check_no_dangling_receives(processes)
+
+
+def check_c1_from_trace(trace, pids: Optional[Iterable[ProcessId]] = None) -> None:
+    """Definition 2, evaluated from the trace alone.
+
+    Same check as :func:`check_c1`, but the recovery line is the
+    :class:`~repro.analysis.index.TraceIndex`'s reconstructed last committed
+    manifests rather than the processes' stored checkpoints.  ``trace`` may
+    be a live :class:`~repro.sim.trace.Trace` or a ``TraceIndex`` built from
+    a reloaded jsonl stream.
+    """
+    index = as_index(trace)
+    members = sorted(pids) if pids is not None else index.pids()
+    sent_by: Dict[ProcessId, Set[int]] = {}
+    for pid in members:
+        view = index.last_committed_manifest(pid)
+        sent_by[pid] = {idx for _dst, idx in view.sent}
+    for pid in members:
+        view = index.last_committed_manifest(pid)
+        for src, idx in sorted(view.recv):
+            if src == pid:
+                continue
+            if src in sent_by and idx not in sent_by[src]:
+                raise ConsistencyViolation(
+                    "C1",
+                    f"P{pid}'s checkpoint (seq {view.seq}) reflects receipt of "
+                    f"m(P{src}#{idx}) but P{src}'s checkpoint does not reflect sending it",
+                )
+
+
+def check_no_dangling_receives_from_trace(
+    trace, pids: Optional[Iterable[ProcessId]] = None
+) -> None:
+    """Definitions 3 / 4(ii), evaluated from the trace alone.
+
+    Uses the index's ledger shadow (sends/receives with undo events applied)
+    in place of the live process ledgers.
+    """
+    index = as_index(trace)
+    members = sorted(pids) if pids is not None else index.pids()
+    for pid in members:
+        for src, idx in index.live_receives(pid):
+            if index.send_is_live(src, idx) is False:
+                raise ConsistencyViolation(
+                    "C2",
+                    f"dangling receive at P{pid}: m(P{src}#{idx}) was undone "
+                    f"by its sender but the receive survives",
+                )
+
+
+def check_recovery_line_from_trace(
+    trace, pids: Optional[Iterable[ProcessId]] = None
+) -> None:
+    """Definition 4 from the trace alone: both trace-based checks."""
+    check_c1_from_trace(trace, pids)
+    check_no_dangling_receives_from_trace(trace, pids)
 
 
 def check_app_states(processes: Iterable) -> None:

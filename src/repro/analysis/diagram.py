@@ -25,10 +25,11 @@ Use :func:`space_time` on any finished simulation's trace.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.index import as_index
 from repro.sim import trace as T
-from repro.sim.trace import Trace
 from repro.types import ProcessId
 
 # Later entries override earlier ones when several events share a cell.
@@ -46,7 +47,7 @@ _POINT_SYMBOLS = {
 
 
 def space_time(
-    trace: Trace,
+    trace,
     pids: Optional[Sequence[ProcessId]] = None,
     width: int = 72,
     start: Optional[float] = None,
@@ -55,11 +56,19 @@ def space_time(
 ) -> str:
     """Render the trace as an ASCII space-time diagram.
 
-    ``width`` is the number of time buckets; ``start``/``end`` clip the
-    window (defaulting to the trace's extent).  When several events fall in
-    one bucket the most significant symbol wins (commits over sends, etc.).
+    ``trace`` may be a :class:`~repro.sim.trace.Trace` or a
+    :class:`~repro.analysis.index.TraceIndex`.  ``width`` is the number of
+    time buckets; ``start``/``end`` clip the window (defaulting to the
+    trace's extent).  When several events fall in one bucket the most
+    significant symbol wins (commits over sends, etc.).
     """
-    events = [e for e in trace if e.pid is not None]
+    index = as_index(trace)
+    events = list(
+        heapq.merge(
+            *(index.for_process(pid) for pid in index.pids()),
+            key=lambda e: e.index,
+        )
+    )
     if not events:
         return "(empty trace)"
     if pids is None:

@@ -15,8 +15,9 @@ dragged back.  The E-DOMINO experiment runs these against the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.analysis.index import as_index
 from repro.types import ProcessId
 
 MsgKey = Tuple[ProcessId, int]
@@ -43,6 +44,33 @@ def views_from_history(proc) -> List[CheckpointView]:
             )
         )
     return views
+
+
+def histories_from_trace(
+    trace, pids: Optional[Iterable[ProcessId]] = None
+) -> Dict[ProcessId, List[CheckpointView]]:
+    """Checkpoint histories from the trace's reconstructed manifests.
+
+    Equivalent to ``{p.node_id: views_from_history(p) for p in processes}``
+    but sourced from the :class:`~repro.analysis.index.TraceIndex`'s
+    manifest shadow, so the fixpoint runs on traces reloaded from disk.
+    ``ManifestView.sent`` keys are ``(dst, idx)``; the domino fixpoint keys
+    sends by *sender*, so they are re-keyed here exactly as
+    :func:`views_from_history` does.
+    """
+    index = as_index(trace)
+    members = sorted(pids) if pids is not None else index.pids()
+    histories: Dict[ProcessId, List[CheckpointView]] = {}
+    for pid in members:
+        histories[pid] = [
+            CheckpointView(
+                seq=view.seq,
+                recv=set(view.recv),
+                sent={(pid, idx) for _dst, idx in view.sent},
+            )
+            for view in index.committed_manifests(pid)
+        ]
+    return histories
 
 
 def recovery_line(
@@ -96,6 +124,19 @@ def domino_metrics(processes: Iterable, initiator: ProcessId) -> Dict[str, float
     Returns the mean/max rollback distance and how many processes moved.
     """
     histories = {p.node_id: views_from_history(p) for p in processes}
+    return _domino_metrics(histories, initiator)
+
+
+def domino_metrics_from_trace(
+    trace, initiator: ProcessId, pids: Optional[Iterable[ProcessId]] = None
+) -> Dict[str, float]:
+    """:func:`domino_metrics`, with histories rebuilt from the trace."""
+    return _domino_metrics(histories_from_trace(trace, pids), initiator)
+
+
+def _domino_metrics(
+    histories: Dict[ProcessId, List[CheckpointView]], initiator: ProcessId
+) -> Dict[str, float]:
     start = {pid: len(h) - 1 for pid, h in histories.items()}
     line = recovery_line(histories, start)
     distances = rollback_distance(histories, start, line)

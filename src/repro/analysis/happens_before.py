@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.index import as_index
 from repro.sim import trace as T
 from repro.sim.trace import Trace, TraceEvent
 from repro.types import ProcessId
@@ -28,16 +29,29 @@ class HappensBefore:
 
     def __init__(self, trace: Trace, include_control: bool = False):
         self.trace = trace
+        self.index = as_index(trace)
         self.include_control = include_control
         self._clocks: Dict[int, Dict[ProcessId, int]] = {}
         self._build()
+
+    def _event_stream(self):
+        """Every process-attributed event in trace order, via the index.
+
+        Merging the per-process index lists recovers the global order
+        without needing the trace to retain an in-memory event list (the
+        lists share the same event objects, so this costs pointers only).
+        """
+        import heapq
+
+        streams = [self.index.for_process(pid) for pid in self.index.pids()]
+        return heapq.merge(*streams, key=lambda e: e.index)
 
     def _build(self) -> None:
         current: Dict[ProcessId, Dict[ProcessId, int]] = {}
         send_clock: Dict[object, Dict[ProcessId, int]] = {}
         ctrl_clock: Dict[Tuple[ProcessId, ProcessId, str, object], List[Dict[ProcessId, int]]] = {}
 
-        for event in self.trace:
+        for event in self._event_stream():
             pid = event.pid
             if pid is None:
                 continue
@@ -91,15 +105,9 @@ class HappensBefore:
         )
 
     def find_send(self, msg_id: object) -> Optional[TraceEvent]:
-        """The send event of a message, if traced."""
-        for event in self.trace:
-            if event.kind == T.K_SEND and event.fields.get("msg_id") == msg_id:
-                return event
-        return None
+        """The send event of a message, if traced — O(1) via the index."""
+        return self.index.send_of(msg_id)
 
     def find_receive(self, msg_id: object) -> Optional[TraceEvent]:
-        """The receive event of a message, if it was delivered and accepted."""
-        for event in self.trace:
-            if event.kind == T.K_RECEIVE and event.fields.get("msg_id") == msg_id:
-                return event
-        return None
+        """The receive event of a message, if delivered and accepted — O(1)."""
+        return self.index.receive_of(msg_id)

@@ -8,23 +8,25 @@ Theorem 4: in an isolated rollback instance, every non-initiator participant
 was necessary — had it not rolled back, some undone send would leave it with
 a dangling receive.
 
-Both are checked against concrete runs: the trace supplies the instance tree
-and undo events; the per-process ``committed_history`` supplies the previous
-checkpoints' manifests.
+Both are checked against concrete runs: the trace (through its
+:class:`~repro.analysis.index.TraceIndex`) supplies the instance tree and
+undo events; the per-process ``committed_history`` supplies the previous
+checkpoints' manifests.  ``trace`` arguments accept a
+:class:`~repro.sim.trace.Trace` or a ``TraceIndex`` directly.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Set, Tuple
 
+from repro.analysis.index import as_index
 from repro.analysis.tree_view import InstanceTree, reconstruct_trees
 from repro.errors import ConsistencyViolation
 from repro.sim import trace as T
-from repro.sim.trace import Trace
 from repro.types import ProcessId, TreeId
 
 
-def check_checkpoint_minimality(trace: Trace, processes: Iterable, tree_id: TreeId) -> None:
+def check_checkpoint_minimality(trace, processes: Iterable, tree_id: TreeId) -> None:
     """Theorem 3 for one committed instance.
 
     For each non-initiator participant ``P_i``: find the checkpoint it
@@ -81,14 +83,15 @@ def _instance_checkpoints(procs: Dict[ProcessId, object], tree: InstanceTree) ->
     return result
 
 
-def check_rollback_minimality(trace: Trace, tree_id: TreeId) -> None:
+def check_rollback_minimality(trace, tree_id: TreeId) -> None:
     """Theorem 4 for one completed rollback instance.
 
     For each non-initiator participant ``P_j``: some instance participant
     ``P_i`` must have undone a send to ``P_j`` that ``P_j`` had received —
     otherwise ``P_j`` rolled back without cause.
     """
-    tree = reconstruct_trees(trace).get(tree_id)
+    index = as_index(trace)
+    tree = reconstruct_trees(index).get(tree_id)
     if tree is None:
         raise ConsistencyViolation("T4", f"no reconstructed tree for {tree_id}")
 
@@ -97,13 +100,13 @@ def check_rollback_minimality(trace: Trace, tree_id: TreeId) -> None:
     # no tree stamp (a process may roll back once for several instances), so
     # scope to the instance window: from its start until the last restart.
     undone_to: Dict[ProcessId, Set[Tuple[ProcessId, int]]] = {}
-    for event in trace.of_kind(T.K_UNDO_SEND):
+    for event in index.by_kind(T.K_UNDO_SEND):
         if event.pid in members:
             undone_to.setdefault(event.fields["dst"], set()).add(
                 (event.pid, event.fields["msg_id"].send_index)
             )
     received: Dict[ProcessId, Set[Tuple[ProcessId, int]]] = {}
-    for event in trace.of_kind(T.K_RECEIVE):
+    for event in index.by_kind(T.K_RECEIVE):
         received.setdefault(event.pid, set()).add(
             (event.fields["src"], event.fields["msg_id"].send_index)
         )

@@ -20,11 +20,11 @@ Key metrics (one row of the measured comparison table):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.analysis.tree_view import reconstruct_trees
 from repro.sim import trace as T
-from repro.types import ProcessId, SimTime
+from repro.types import SimTime
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.simulation import Simulation
@@ -88,62 +88,65 @@ class RunStats:
 
 
 def collect(sim: "Simulation") -> RunStats:
-    """Compute :class:`RunStats` for a finished simulation."""
+    """Compute :class:`RunStats` for a finished simulation.
+
+    Reads the trace through its :class:`~repro.analysis.index.TraceIndex`:
+    outcome counters are O(1) index lookups, and the latency / blocked-time
+    walks only touch the (few) lifecycle and suspension events instead of
+    re-scanning the whole trace.
+    """
+    index = sim.trace.index
     stats = RunStats(
         duration=sim.now,
         processes=len(sim.nodes),
         normal_messages=sim.network.normal_sent,
         control_messages=sim.network.control_sent,
+        discarded_messages=index.count(T.K_DISCARD),
+        checkpoints_tentative=index.count(T.K_CHKPT_TENTATIVE),
+        checkpoints_committed=index.count(T.K_CHKPT_COMMIT),
+        checkpoints_aborted=index.count(T.K_CHKPT_ABORT),
+        rollbacks=index.count(T.K_ROLLBACK),
+        instances_started=index.count(T.K_INSTANCE_START),
+        instances_committed=index.count(T.K_INSTANCE_COMMIT),
+        instances_aborted=index.count(T.K_INSTANCE_ABORT),
+        instances_rejected=index.count(T.K_INSTANCE_REJECTED),
     )
 
-    suspend_since: Dict[ProcessId, SimTime] = {}
-    comm_since: Dict[ProcessId, SimTime] = {}
+    # Commit latency: pair each commit with the latest start of its tree
+    # seen so far (trace order), exactly as the old full scan did.
     started_at: Dict[object, SimTime] = {}
-
-    for event in sim.trace:
-        kind = event.kind
-        if kind == T.K_DISCARD:
-            stats.discarded_messages += 1
-        elif kind == T.K_CHKPT_TENTATIVE:
-            stats.checkpoints_tentative += 1
-        elif kind == T.K_CHKPT_COMMIT:
-            stats.checkpoints_committed += 1
-        elif kind == T.K_CHKPT_ABORT:
-            stats.checkpoints_aborted += 1
-        elif kind == T.K_ROLLBACK:
-            stats.rollbacks += 1
-        elif kind == T.K_INSTANCE_START:
-            stats.instances_started += 1
+    for event in index.by_kind(T.K_INSTANCE_START, T.K_INSTANCE_COMMIT):
+        if event.kind == T.K_INSTANCE_START:
             started_at[event.fields["tree"]] = event.time
-        elif kind == T.K_INSTANCE_COMMIT:
-            stats.instances_committed += 1
+        else:
             begun = started_at.get(event.fields["tree"])
             if begun is not None:
                 stats.instance_latencies.append(event.time - begun)
-        elif kind == T.K_INSTANCE_ABORT:
-            stats.instances_aborted += 1
-        elif kind == T.K_INSTANCE_REJECTED:
-            stats.instances_rejected += 1
-        elif kind == T.K_SUSPEND_SEND:
-            suspend_since[event.pid] = event.time
-        elif kind == T.K_RESUME_SEND:
-            begun = suspend_since.pop(event.pid, None)
-            if begun is not None:
-                stats.send_blocked_time += event.time - begun
-        elif kind == T.K_SUSPEND_ALL:
-            comm_since[event.pid] = event.time
-        elif kind == T.K_RESUME_ALL:
-            begun = comm_since.pop(event.pid, None)
-            if begun is not None:
-                stats.comm_blocked_time += event.time - begun
 
-    # Charge still-open suspensions up to the end of the run.
-    for begun in suspend_since.values():
-        stats.send_blocked_time += sim.now - begun
-    for begun in comm_since.values():
-        stats.comm_blocked_time += sim.now - begun
+    # Suspension accounting pairs suspend/resume per process, charging
+    # still-open suspensions up to the end of the run.
+    for pid in index.pids():
+        since: Optional[SimTime] = None
+        for event in index.for_process(pid, T.K_SUSPEND_SEND, T.K_RESUME_SEND):
+            if event.kind == T.K_SUSPEND_SEND:
+                since = event.time
+            elif since is not None:
+                stats.send_blocked_time += event.time - since
+                since = None
+        if since is not None:
+            stats.send_blocked_time += sim.now - since
 
-    for tree in reconstruct_trees(sim.trace).values():
+        since = None
+        for event in index.for_process(pid, T.K_SUSPEND_ALL, T.K_RESUME_ALL):
+            if event.kind == T.K_SUSPEND_ALL:
+                since = event.time
+            elif since is not None:
+                stats.comm_blocked_time += event.time - since
+                since = None
+        if since is not None:
+            stats.comm_blocked_time += sim.now - since
+
+    for tree in reconstruct_trees(index).values():
         stats.forced_per_instance.append(len(tree.participants))
         stats.tree_depths.append(tree.depth())
 

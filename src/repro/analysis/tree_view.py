@@ -5,6 +5,10 @@ that reproduce them need to recover the same trees from a run.  A tree edge
 parent → child exists exactly when the child answered the parent's request
 with a positive acknowledgement, so we pair each ``chkpt_req``/``roll_req``
 control send with the matching positive ack.
+
+Reconstruction consumes the :class:`~repro.analysis.index.TraceIndex`'s
+tree-id → lifecycle-event lists, so its cost is O(instance events), not
+O(trace): only events stamped with a tree id are ever touched.
 """
 
 from __future__ import annotations
@@ -12,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.index import as_index
 from repro.sim import trace as T
-from repro.sim.trace import Trace
 from repro.types import ProcessId, TreeId
 
 
@@ -78,17 +82,23 @@ class InstanceTree:
         return "\n".join(lines)
 
 
-def reconstruct_trees(trace: Trace) -> Dict[TreeId, InstanceTree]:
+def reconstruct_trees(trace) -> Dict[TreeId, InstanceTree]:
     """Rebuild every instance tree touched by the trace.
 
-    Also synthesises trees for instances joined *without* an explicit
-    ``instance_start`` (child membership): the root is the tree id's
-    initiator by definition.
+    ``trace`` may be a :class:`~repro.sim.trace.Trace` or a
+    :class:`~repro.analysis.index.TraceIndex`; only tree-stamped events are
+    visited (O(instance events)).  Also synthesises trees for instances
+    joined *without* an explicit ``instance_start`` (child membership): the
+    root is the tree id's initiator by definition.
     """
+    index = as_index(trace)
     trees: Dict[TreeId, InstanceTree] = {}
     ack_kind = {"chkpt_ack": "checkpoint", "roll_ack": "rollback"}
 
-    for event in trace:
+    lifecycle = index.by_kind(
+        T.K_INSTANCE_START, T.K_CTRL_SEND, T.K_INSTANCE_COMMIT, T.K_INSTANCE_ABORT
+    )
+    for event in lifecycle:
         if event.kind == T.K_INSTANCE_START:
             tree_id = event.fields["tree"]
             trees[tree_id] = InstanceTree(

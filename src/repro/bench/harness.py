@@ -3,12 +3,16 @@
 Each experiment in :mod:`repro.bench.experiments` returns plain dict rows;
 this module renders them the way EXPERIMENTS.md records them, so the
 benchmark suite, the CLI (``python -m repro.bench``) and the documentation
-all show literally the same artifact.
+all show literally the same artifact.  :func:`write_json` emits the same
+rows as a machine-readable artifact (``python -m repro.bench --json``).
 """
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.trace import json_safe
 
 
 def format_table(
@@ -16,11 +20,20 @@ def format_table(
     columns: Optional[Sequence[str]] = None,
     title: str = "",
 ) -> str:
-    """Render dict rows as a fixed-width ASCII table."""
+    """Render dict rows as a fixed-width ASCII table.
+
+    When ``columns`` is not given, the header is the union of every row's
+    keys in first-seen order — rows with extra keys (e.g. a sweep that adds
+    a metric mid-way) no longer silently lose them.
+    """
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        seen: Dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
     cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
     widths = [
         max(len(str(col)), *(len(c[i]) for c in cells))
@@ -58,3 +71,21 @@ def print_experiment(name: str, rendered: str) -> None:
     """Print an experiment artifact with a banner (goes into bench output)."""
     bar = "=" * max(len(name) + 12, 40)
     print(f"\n{bar}\n EXPERIMENT {name}\n{bar}\n{rendered}\n")
+
+
+def rows_to_json(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The exact rows a table renders, coerced to JSON-representable values."""
+    return [{str(key): json_safe(value) for key, value in row.items()} for row in rows]
+
+
+def write_json(path: str, artifacts: Dict[str, Dict[str, Any]]) -> None:
+    """Write experiment artifacts as a JSON document.
+
+    ``artifacts`` maps experiment name to ``{"title": ..., "rows": [...]}``
+    where the rows are the same dicts the ASCII tables render (pass them
+    through :func:`rows_to_json`).  Insertion order is preserved so the JSON
+    lists experiments in the order they ran.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifacts, handle, indent=2)
+        handle.write("\n")

@@ -21,11 +21,24 @@ from repro.sim.node import Node
 from repro.sim.rng import Rng
 from repro.sim.scheduler import Scheduler
 from repro.sim.simulation import Simulation
-from repro.sim.trace import Trace, TraceEvent
+from repro.sim.trace import (
+    InMemorySink,
+    JsonlStreamSink,
+    MetricsSink,
+    NullSink,
+    Trace,
+    TraceEvent,
+    TraceSink,
+    load_jsonl,
+)
 
 __all__ = [
     "Event",
+    "InMemorySink",
+    "JsonlStreamSink",
+    "MetricsSink",
     "Node",
+    "NullSink",
     "PRIORITY_CHECKPOINT",
     "PRIORITY_NORMAL",
     "PRIORITY_ROLLBACK",
@@ -35,4 +48,6 @@ __all__ = [
     "Simulation",
     "Trace",
     "TraceEvent",
+    "TraceSink",
+    "load_jsonl",
 ]

@@ -38,10 +38,19 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Set by the scheduler while the event sits in its heap, so lazy
+    # deletion can be accounted for without rescanning the heap.
+    cancel_hook: "Callable[[], None] | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.cancel_hook is not None:
+            self.cancel_hook()
 
     def fire(self) -> None:
         """Run the event's action.  The scheduler calls this exactly once."""

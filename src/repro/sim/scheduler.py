@@ -32,6 +32,8 @@ class Scheduler:
         self._now: SimTime = 0.0
         self._seq = 0
         self._events_processed = 0
+        self._events_cancelled = 0
+        self._cancelled_in_heap = 0
         self._running = False
 
     @property
@@ -45,9 +47,34 @@ class Scheduler:
         return self._events_processed
 
     @property
+    def events_cancelled(self) -> int:
+        """Number of scheduled events that were cancelled before firing."""
+        return self._events_cancelled
+
+    @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of events still queued and due to fire.
+
+        Cancelled events are lazily deleted (they stay in the heap until
+        popped) but do not count here; :attr:`pending_raw` exposes the raw
+        heap size for anyone who cares about the physical queue.
+        """
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def pending_raw(self) -> int:
+        """Raw heap size, including lazily-deleted (cancelled) events."""
         return len(self._heap)
+
+    def _note_cancel(self) -> None:
+        self._events_cancelled += 1
+        self._cancelled_in_heap += 1
+
+    def _popped(self, event: Event) -> None:
+        """Bookkeeping for an event leaving the heap."""
+        event.cancel_hook = None
+        if event.cancelled:
+            self._cancelled_in_heap -= 1
 
     def at(
         self,
@@ -66,6 +93,7 @@ class Scheduler:
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
         event = Event(time=time, priority=priority, seq=self._seq, action=action, label=label)
+        event.cancel_hook = self._note_cancel
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
@@ -89,6 +117,7 @@ class Scheduler:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
+            self._popped(event)
             if event.cancelled:
                 continue
             self._now = event.time
@@ -117,12 +146,13 @@ class Scheduler:
             while self._heap:
                 event = self._heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    self._popped(heapq.heappop(self._heap))
                     continue
                 if until is not None and event.time > until:
                     self._now = until
                     break
                 heapq.heappop(self._heap)
+                self._popped(event)
                 self._now = event.time
                 self._events_processed += 1
                 event.fire()

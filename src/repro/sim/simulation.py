@@ -30,6 +30,7 @@ from repro.types import IdAllocator, ProcessId, SimTime
 if TYPE_CHECKING:  # pragma: no cover
     from repro.failure.detector import FailureDetector
     from repro.net.delay import DelayModel
+    from repro.sim.trace import TraceSink
 
 
 class Simulation:
@@ -41,10 +42,14 @@ class Simulation:
         delay_model: Optional["DelayModel"] = None,
         channel: Optional[object] = None,
         network: Optional[Network] = None,
+        sinks: Optional[List["TraceSink"]] = None,
+        trace: Optional[Trace] = None,
     ):
         self.rng = Rng(seed)
         self.scheduler = Scheduler()
-        self.trace = Trace()
+        if trace is not None and sinks is not None:
+            raise SimulationError("pass either trace= or sinks=, not both")
+        self.trace = trace if trace is not None else Trace(sinks=sinks)
         self.network = network or Network(delay_model=delay_model, channel=channel)
         self.network.bind(self)
         self.nodes: Dict[ProcessId, Node] = {}

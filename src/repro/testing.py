@@ -6,12 +6,12 @@ experiment code reads as scenario logic only.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import Dict, List, Optional, Type
 
 from repro.core import CheckpointProcess, ProtocolConfig
 from repro.failure import FailureDetector
 from repro.net import FifoChannel, FixedDelay
-from repro.sim import Simulation
+from repro.sim import Simulation, TraceSink
 from repro.workloads import RandomPeerWorkload
 
 
@@ -24,18 +24,21 @@ def build_sim(
     config: Optional[ProtocolConfig] = None,
     detector_latency: Optional[float] = None,
     spoolers: bool = False,
+    sinks: Optional[List[TraceSink]] = None,
 ):
     """Build a started simulation with ``n`` protocol processes.
 
     Returns ``(sim, procs)`` where ``procs`` maps pid -> process.  With
     ``detector_latency`` set a failure detector is attached; with
     ``spoolers`` each process gets a two-replica spooler group on its
-    neighbours (the Section 6 configuration).
+    neighbours (the Section 6 configuration).  ``sinks`` configures the
+    trace pipeline (default: one in-memory sink).
     """
     sim = Simulation(
         seed=seed,
         delay_model=delay or FixedDelay(0.5),
         channel=FifoChannel() if fifo else None,
+        sinks=sinks,
     )
     procs: Dict[int, CheckpointProcess] = {
         i: sim.add_node(cls(i, config)) for i in range(n)

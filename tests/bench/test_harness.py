@@ -31,6 +31,17 @@ def test_format_table_missing_keys_blank():
     assert "1" in text and "2" in text
 
 
+def test_format_table_defaults_to_union_of_keys():
+    # Later rows' extra keys appear as columns (first-seen order), so a
+    # sweep that adds a metric mid-way no longer loses it silently.
+    rows = [{"a": 1}, {"a": 2, "b": 20}, {"c": 30}]
+    lines = format_table(rows).splitlines()
+    header = lines[0].split("|")
+    assert [cell.strip() for cell in header] == ["a", "b", "c"]
+    assert "20" in lines[3]
+    assert "30" in lines[4]
+
+
 def test_format_table_empty():
     assert "(no rows)" in format_table([])
     assert format_table([], title="T").startswith("T")
@@ -56,3 +67,34 @@ def test_cli_runs_a_cheap_experiment(capsys):
     out = capsys.readouterr().out
     assert "EXPERIMENT fig2" in out
     assert "paper_label" in out
+
+
+def test_cli_json_artifact_matches_table_rows(capsys, tmp_path):
+    import json
+
+    from repro.bench.__main__ import REGISTRY, main, run_experiment
+
+    path = tmp_path / "artifacts.json"
+    assert main(["fig2", "--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "EXPERIMENT fig2" in out
+
+    payload = json.loads(path.read_text())
+    assert list(payload) == ["fig2"]
+    assert payload["fig2"]["title"] == REGISTRY["fig2"][0]
+    # The JSON rows are the table's rows, value for value.
+    _title, rows = run_experiment("fig2")
+    assert len(payload["fig2"]["rows"]) == len(rows)
+    for json_row, row in zip(payload["fig2"]["rows"], rows):
+        assert set(json_row) == {str(k) for k in row}
+        for key, value in row.items():
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                assert json_row[str(key)] == value
+
+
+def test_cli_registry_entries_are_titled_thunks():
+    from repro.bench.__main__ import REGISTRY
+
+    for name, (title, thunk) in REGISTRY.items():
+        assert isinstance(title, str) and title
+        assert callable(thunk)

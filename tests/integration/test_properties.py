@@ -9,10 +9,13 @@ from hypothesis import strategies as st
 
 from repro.analysis import (
     check_app_states,
+    check_c1_from_trace,
+    check_no_dangling_receives_from_trace,
     check_quiescent,
     check_recovery_line,
 )
 from repro.analysis.domino import CheckpointView, recovery_line
+from repro.errors import ConsistencyViolation
 from repro.core.labels import LabelLedger
 from repro.failure import VoteRegistry
 from repro.net import ExponentialDelay, UniformDelay
@@ -181,6 +184,53 @@ def test_protocol_invariants_hold_for_generated_workloads(
     check_quiescent(procs.values())
     check_recovery_line(procs.values())
     check_app_states(procs.values())
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 6),
+    error_rate=st.floats(0.0, 0.08),
+)
+def test_trace_based_checkers_agree_with_manifest_checkers(seed, n, error_rate):
+    """The TraceIndex oracles and the stored-manifest oracles are the same
+    function: same verdicts, and element-for-element equal manifests."""
+    sim, procs = build_sim(n=n, seed=seed, delay=ExponentialDelay(mean=0.8))
+    run_random_workload(
+        sim, procs, duration=20.0, message_rate=1.0,
+        checkpoint_rate=0.1, error_rate=error_rate,
+    )
+    index = sim.trace.index
+
+    # Verdict agreement (a healthy run passes both ways; any disagreement
+    # between the two oracles is a bug regardless of the verdict).
+    from repro.analysis import check_c1, check_no_dangling_receives
+
+    for manifest_check, trace_check in (
+        (check_c1, check_c1_from_trace),
+        (check_no_dangling_receives, check_no_dangling_receives_from_trace),
+    ):
+        try:
+            manifest_check(procs.values())
+            manifest_verdict = None
+        except ConsistencyViolation as violation:
+            manifest_verdict = violation.constraint
+        try:
+            trace_check(sim.trace)
+            trace_verdict = None
+        except ConsistencyViolation as violation:
+            trace_verdict = violation.constraint
+        assert manifest_verdict == trace_verdict
+
+    # The reconstructed recovery line IS the stored one.
+    from repro.analysis.consistency import _last_committed
+
+    for pid, proc in procs.items():
+        record = _last_committed(proc)
+        view = index.last_committed_manifest(pid)
+        assert view.seq == record.seq
+        assert set(view.recv) == {tuple(p) for p in record.meta.get("recv", [])}
+        assert set(view.sent) == {tuple(p) for p in record.meta.get("sent", [])}
 
 
 @settings(max_examples=8, deadline=None)

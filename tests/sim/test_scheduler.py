@@ -148,6 +148,67 @@ def test_events_scheduled_during_run_are_processed():
     assert order == [0, 1, 2, 3]
 
 
+def test_pending_excludes_cancelled_events():
+    sched = Scheduler()
+    events = [sched.at(float(k), lambda: None) for k in range(5)]
+    assert sched.pending == 5
+    events[1].cancel()
+    events[3].cancel()
+    # Lazily deleted: still physically in the heap, but not due to fire.
+    assert sched.pending == 3
+    assert sched.pending_raw == 5
+    assert sched.events_cancelled == 2
+
+
+def test_pending_settles_after_run():
+    sched = Scheduler()
+    keep = sched.at(1.0, lambda: None)
+    drop = sched.at(2.0, lambda: None)
+    drop.cancel()
+    sched.run()
+    assert sched.pending == 0
+    assert sched.pending_raw == 0
+    assert sched.events_processed == 1
+    assert sched.events_cancelled == 1
+    assert keep.cancelled is False
+
+
+def test_double_cancel_counts_once():
+    sched = Scheduler()
+    event = sched.at(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sched.events_cancelled == 1
+    assert sched.pending == 0
+    assert sched.pending_raw == 1
+    sched.run()
+    assert sched.pending_raw == 0
+
+
+def test_cancel_after_fire_does_not_skew_pending():
+    sched = Scheduler()
+    fired = []
+    event = sched.at(1.0, lambda: fired.append(1))
+    sched.at(2.0, lambda: event.cancel())
+    sched.at(3.0, lambda: None)
+    sched.run(until=2.0)
+    # Cancelling an already-fired event is a no-op for heap accounting.
+    assert fired == [1]
+    assert sched.pending == 1
+    assert sched.pending_raw == 1
+
+
+def test_pending_during_run_sees_future_events():
+    sched = Scheduler()
+    seen = []
+    extra = []
+    sched.at(1.0, lambda: extra.append(sched.at(5.0, lambda: None)))
+    sched.at(2.0, lambda: extra[0].cancel())
+    sched.at(3.0, lambda: seen.append(sched.pending))
+    sched.run()
+    assert seen == [0]
+
+
 def test_scheduler_not_reentrant():
     sched = Scheduler()
     errors = []

@@ -1,0 +1,164 @@
+"""Unit tests for the pluggable trace sinks (emit layer)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.net import UniformDelay
+from repro.sim import trace as T
+from repro.sim.trace import (
+    InMemorySink,
+    JsonlStreamSink,
+    MetricsSink,
+    NullSink,
+    Trace,
+    load_jsonl,
+)
+from repro.testing import build_sim, run_random_workload
+from repro.types import MessageId, TreeId
+
+
+def record_sample(trace):
+    """A small stream exercising the full field vocabulary."""
+    trace.record(0.0, T.K_SEND, pid=0, msg_id=MessageId(0, 1), dst=1, label=1, payload="x")
+    trace.record(0.5, T.K_RECEIVE, pid=1, msg_id=MessageId(0, 1), src=0, label=1)
+    trace.record(1.0, T.K_CTRL_SEND, pid=1, dst=0, msg_type="chkpt_req", tree=TreeId(1, 2))
+    trace.record(1.5, T.K_CHKPT_TENTATIVE, pid=1, seq=2, tree=TreeId(1, 2))
+    trace.record(2.0, T.K_PARTITION, groups=[{0}, {1}])
+    trace.record(2.5, T.K_ROLLBACK, pid=0, to_seq=1, tree=None, target="oldchkpt",
+                 undone_sends=1, undone_receives=0)
+
+
+def test_default_trace_keeps_events_in_memory():
+    trace = Trace()
+    record_sample(trace)
+    assert len(trace) == 6
+    assert trace.retained_events == 6
+    assert [e.kind for e in trace][:2] == [T.K_SEND, T.K_RECEIVE]
+    assert len(trace.of_kind(T.K_SEND)) == 1
+
+
+def test_null_sink_retains_nothing_but_counts():
+    trace = Trace(sinks=[NullSink()])
+    record_sample(trace)
+    assert len(trace) == 6
+    assert trace.events_recorded == 6
+    assert trace.retained_events == 0
+
+
+def test_streaming_trace_rejects_memory_queries():
+    trace = Trace(sinks=[NullSink()])
+    record_sample(trace)
+    with pytest.raises(RuntimeError, match="no InMemorySink"):
+        trace.events
+    with pytest.raises(RuntimeError, match="no InMemorySink"):
+        list(trace)
+
+
+def test_backfill_requires_memory_sink():
+    trace = Trace(sinks=[NullSink()])
+    record_sample(trace)
+    with pytest.raises(RuntimeError, match="backfill"):
+        trace.add_sink(InMemorySink())
+
+
+def test_late_sink_is_backfilled_from_memory():
+    trace = Trace()
+    record_sample(trace)
+    late = trace.add_sink(InMemorySink())
+    assert late.events == trace.events
+    trace.record(3.0, T.K_CRASH, pid=0)
+    assert len(late.events) == 7
+
+
+def test_jsonl_round_trip_is_lossless(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    sink = JsonlStreamSink(path)
+    trace = Trace(sinks=[sink, InMemorySink()])
+    record_sample(trace)
+    trace.close()
+    assert sink.written == 6
+
+    reloaded = load_jsonl(path)
+    assert len(reloaded) == len(trace.events)
+    for original, copy in zip(trace.events, reloaded):
+        assert copy.index == original.index
+        assert copy.time == original.time
+        assert copy.kind == original.kind
+        assert copy.pid == original.pid
+        assert copy.fields == original.fields
+    # Rich ids reconstruct as their real types, not strings.
+    assert isinstance(reloaded[0].fields["msg_id"], MessageId)
+    assert isinstance(reloaded[2].fields["tree"], TreeId)
+
+
+def test_jsonl_streaming_run_matches_in_memory_run(tmp_path):
+    """Same seed, different sinks: the event streams must be identical."""
+    path = str(tmp_path / "run.jsonl")
+    sim_mem, procs_mem = build_sim(n=4, seed=7, delay=UniformDelay(0.3, 0.9))
+    run_random_workload(sim_mem, procs_mem, duration=10.0, checkpoint_rate=0.1,
+                        error_rate=0.02)
+
+    stream = JsonlStreamSink(path)
+    sim_str, procs_str = build_sim(n=4, seed=7, delay=UniformDelay(0.3, 0.9),
+                                   sinks=[stream])
+    run_random_workload(sim_str, procs_str, duration=10.0, checkpoint_rate=0.1,
+                        error_rate=0.02)
+    sim_str.trace.close()
+
+    assert sim_str.trace.retained_events == 0
+    assert stream.written == len(sim_mem.trace) > 0
+    reloaded = load_jsonl(path)
+    assert [(e.time, e.kind, e.pid) for e in reloaded] == [
+        (e.time, e.kind, e.pid) for e in sim_mem.trace
+    ]
+
+
+def test_metrics_sink_counters_match_brute_force():
+    memory = InMemorySink()
+    metrics = MetricsSink()
+    sim, procs = build_sim(n=5, seed=3, delay=UniformDelay(0.3, 0.9),
+                           sinks=[memory, metrics])
+    run_random_workload(sim, procs, duration=20.0, checkpoint_rate=0.1,
+                        error_rate=0.05)
+
+    by_kind = Counter(e.kind for e in memory.events)
+    assert metrics.events_by_kind == by_kind
+    assert metrics.total_events == len(memory.events)
+    assert metrics.checkpoints_tentative == by_kind[T.K_CHKPT_TENTATIVE]
+    assert metrics.checkpoints_committed == by_kind[T.K_CHKPT_COMMIT]
+    assert metrics.checkpoints_aborted == by_kind[T.K_CHKPT_ABORT]
+    assert metrics.rollbacks == by_kind[T.K_ROLLBACK]
+
+    per_tree = Counter(
+        e.fields.get("tree") for e in memory.events if e.kind == T.K_CTRL_SEND
+    )
+    assert metrics.control_sends_per_tree == per_tree
+
+    depths = [
+        e.fields.get("undone_sends", 0) + e.fields.get("undone_receives", 0)
+        for e in memory.events
+        if e.kind == T.K_ROLLBACK
+    ]
+    assert metrics.rollback_depth_total == sum(depths)
+    assert metrics.max_rollback_depth == (max(depths) if depths else 0)
+
+    snap = metrics.snapshot()
+    assert snap["total_events"] == len(memory.events)
+    assert snap["rollbacks"] == metrics.rollbacks
+
+
+def test_trace_or_sinks_are_exclusive():
+    from repro.errors import SimulationError
+    from repro.sim import Simulation
+
+    with pytest.raises(SimulationError, match="not both"):
+        Simulation(trace=Trace(), sinks=[NullSink()])
+
+
+def test_shared_trace_can_be_passed_in():
+    from repro.sim import Simulation
+
+    trace = Trace()
+    sim = Simulation(trace=trace)
+    assert sim.trace is trace
