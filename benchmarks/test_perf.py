@@ -1,0 +1,57 @@
+"""E-PERF — snapshot engine throughput and parallel sweep speedup.
+
+Asserts the PR's two performance claims and writes ``BENCH_PERF.json``:
+
+* **checkpoint throughput** — the snapshot-backed storage runs the
+  take→read→commit→read checkpoint cycle at least 3x faster than the
+  deep-copy baseline at n=64 and n=128 (in practice the margin is 10x+;
+  3x keeps the assertion robust on loaded machines);
+* **delta encoding** — successive checkpoints delta-encode to a fraction
+  of their full-snapshot bytes;
+* **parallel sweeps** — fanning the standard sweep over 2 workers beats
+  the serial loop by ≥1.5x *when the machine has ≥2 CPUs*.  On a
+  single-core container that is physically impossible, so the assertion
+  is gated on the visible core count; the measured numbers (and the core
+  count) are recorded in the JSON artifact either way.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.bench.harness import format_table, print_experiment, rows_to_json
+from repro.bench.perf import experiment_perf
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
+
+
+def test_snapshot_engine_and_parallel_sweeps(run_once):
+    rows = run_once(experiment_perf, sizes=(64, 128))
+    print_experiment("E-PERF", format_table(rows))
+
+    ops = [r for r in rows if r["metric"] == "checkpoint_ops"]
+    assert [r["n"] for r in ops] == [64, 128]
+    for row in ops:
+        assert row["speedup"] >= 3.0, (
+            f"snapshot backend only {row['speedup']}x over deep-copy at n={row['n']}"
+        )
+
+    deltas = [r for r in rows if r["metric"] == "delta_encoding"]
+    assert deltas and all(r["delta_bytes"] < r["full_bytes"] for r in deltas)
+    assert all(r["savings"] > 0.5 for r in deltas)
+
+    (sweep,) = [r for r in rows if r["metric"] == "parallel_sweep"]
+    assert sweep["deterministic"], "parallel sweep diverged from the serial run"
+    if (os.cpu_count() or 1) >= 2:
+        assert sweep["speedup"] >= 1.5, (
+            f"2-worker sweep only {sweep['speedup']}x on {sweep['cpus']} CPUs"
+        )
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {"perf": {"title": "E-PERF — snapshot engine + parallel sweeps",
+                      "rows": rows_to_json(rows)}},
+            indent=2,
+        )
+        + "\n"
+    )

@@ -5,9 +5,14 @@ Usage::
     python -m repro.bench                       # everything (minutes)
     python -m repro.bench fig3 table5           # a selection
     python -m repro.bench fig2 --json out.json  # + machine-readable artifact
+    python -m repro.bench --parallel 4          # fan experiments out over 4 processes
 
 The printed tables are what EXPERIMENTS.md records; ``--json`` writes the
 same rows (experiment name → title + row dicts) for scripted consumers.
+``--parallel N`` runs the selected experiments across ``N`` worker
+processes; every experiment seeds its simulations explicitly, so the merged
+artifact is identical to a serial run (rows merge in registry order, not
+completion order).
 """
 
 from __future__ import annotations
@@ -18,7 +23,9 @@ from typing import Any, Callable, Dict, List, Tuple
 
 from repro.bench import ablations as A
 from repro.bench import experiments as E
+from repro.bench import perf as P
 from repro.bench.harness import format_table, print_experiment, rows_to_json, write_json
+from repro.bench.parallel import run_registry_parallel
 
 # name -> (table title, thunk returning the table's rows).  Experiments that
 # produce a single summary dict are wrapped into one-row tables here so every
@@ -41,6 +48,7 @@ REGISTRY: Dict[str, Tuple[str, Callable[[], List[Dict[str, Any]]]]] = {
     "nonfifo": ("Non-FIFO channels", lambda: [E.experiment_nonfifo()]),
     "extension": ("Section 3.5.3 extension", lambda: E.experiment_extension()),
     "domino": ("Domino effect (motivation)", lambda: E.experiment_domino()),
+    "perf": ("E-PERF — snapshot engine + parallel sweeps", lambda: P.experiment_perf()),
 }
 
 
@@ -63,7 +71,14 @@ def main(argv: list) -> int:
         "--json", metavar="PATH", default=None,
         help="also write the artifacts as JSON to PATH",
     )
+    parser.add_argument(
+        "--parallel", metavar="N", type=int, default=1,
+        help="run experiments across N worker processes (default: 1, serial)",
+    )
     args = parser.parse_args(argv)
+    if args.parallel < 1:
+        print(f"--parallel must be >= 1, got {args.parallel}")
+        return 2
 
     names = args.names or list(REGISTRY)
     unknown = [n for n in names if n not in REGISTRY]
@@ -80,8 +95,8 @@ def main(argv: list) -> int:
             return 2
 
     artifacts: Dict[str, Dict[str, Any]] = {}
-    for name in names:
-        title, rows = run_experiment(name)
+    results = run_registry_parallel(names, workers=args.parallel)
+    for name, (title, rows) in zip(names, results):
         print_experiment(name, format_table(rows, title=title))
         artifacts[name] = {"title": title, "rows": rows_to_json(rows)}
     if args.json is not None:

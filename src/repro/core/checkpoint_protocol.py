@@ -36,7 +36,7 @@ class ChkptProtocolMixin:
         """
         if self.crashed or self.comm_suspended:
             return None
-        if self.store.newchkpt is not None:
+        if self.store.has_new:
             return None  # b1 requires newchkpt(i) = nil
 
         tree_id = self._new_tree_id()
@@ -69,7 +69,7 @@ class ChkptProtocolMixin:
         # Each recruitment is its own round; an earlier round that is still
         # collecting keeps its obligations through the ``older`` chain.
         tree = self.trees.open_chkpt_round(req.tree, parent=src)
-        if self.store.newchkpt is None:
+        if not self.store.has_new:
             self._make_new_checkpoint(req.tree)
         else:
             # Reuse the shared uncommitted checkpoint for this new instance.
@@ -345,7 +345,7 @@ class ChkptProtocolMixin:
         if was_member:
             self.chkpt_commit_set.discard(tree_id)
             self._persist_commit_set()
-            if not self.chkpt_commit_set and self.store.newchkpt is not None:
+            if not self.chkpt_commit_set and self.store.has_new:
                 discarded = self.store.newchkpt
                 self.store.discard_new()
                 self.sim.trace.record(

@@ -74,7 +74,7 @@ class RecoveryMixin:
         self.decisions_seen = self._load_decisions()
         self._collect_spool()
 
-        if self.store.newchkpt is None:
+        if not self.store.has_new:
             self._finish_recovery()
             return
 
@@ -309,7 +309,7 @@ class RecoveryMixin:
                 self._finish_recovery()
         elif reply.decision == "abort":
             self._abort_instance(reply.tree)
-            if self._recovering and self.store.newchkpt is None:
+            if self._recovering and not self.store.has_new:
                 self._finish_recovery()
         elif reply.decision == "restart":
             self._on_restart(src, M.Restart(tree=reply.tree))

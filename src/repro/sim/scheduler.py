@@ -34,6 +34,7 @@ class Scheduler:
         self._events_processed = 0
         self._events_cancelled = 0
         self._cancelled_in_heap = 0
+        self._compactions = 0
         self._running = False
 
     @property
@@ -66,9 +67,30 @@ class Scheduler:
         """Raw heap size, including lazily-deleted (cancelled) events."""
         return len(self._heap)
 
+    @property
+    def compactions(self) -> int:
+        """Number of times the heap was compacted to evict cancelled events."""
+        return self._compactions
+
     def _note_cancel(self) -> None:
         self._events_cancelled += 1
         self._cancelled_in_heap += 1
+        # Lazy deletion is O(1) per cancel, but a workload that cancels most
+        # of what it schedules (timer-heavy protocols) can leave the heap
+        # dominated by tombstones, making every push/pop pay log(dead+live).
+        # Once the majority of entries are dead, rebuild over the live ones.
+        if self._cancelled_in_heap * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        live = [event for event in self._heap if not event.cancelled]
+        for event in self._heap:
+            if event.cancelled:
+                event.cancel_hook = None
+        self._heap = live
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
 
     def _popped(self, event: Event) -> None:
         """Bookkeeping for an event leaving the heap."""

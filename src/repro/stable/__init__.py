@@ -1,16 +1,44 @@
-"""Stable storage and the oldchkpt/newchkpt checkpoint slots."""
+"""Stable storage, the snapshot engine, and the checkpoint slots."""
 
 from repro.stable.checkpoint import CheckpointStore, MultiCheckpointStore
+from repro.stable.snapshot import (
+    ChunkStore,
+    FrozenDict,
+    FrozenList,
+    SnapshotEngine,
+    diff,
+    digest,
+    freeze,
+    patch,
+    thaw,
+)
 from repro.stable.storage import (
+    DeepCopyStableStorage,
     FileStableStorage,
     InMemoryStableStorage,
     StableStorage,
+    WriteBehindFileStableStorage,
+    escape_key,
+    unescape_key,
 )
 
 __all__ = [
     "CheckpointStore",
+    "ChunkStore",
+    "DeepCopyStableStorage",
     "FileStableStorage",
+    "FrozenDict",
+    "FrozenList",
     "InMemoryStableStorage",
     "MultiCheckpointStore",
+    "SnapshotEngine",
     "StableStorage",
+    "WriteBehindFileStableStorage",
+    "diff",
+    "digest",
+    "escape_key",
+    "freeze",
+    "patch",
+    "thaw",
+    "unescape_key",
 ]

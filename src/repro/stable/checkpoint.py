@@ -15,11 +15,24 @@ and exposes exactly the operations the algorithm performs:
 The Section 3.5.3 extension needs a *stack* of uncommitted checkpoints
 (``newchkpt_a .. newchkpt_l``); :class:`MultiCheckpointStore` provides that
 generalisation while keeping the same committed-slot semantics.
+
+Fast paths
+----------
+Slot accessors are hot (every b1 guard and every fan-out consults them), so
+decoded records are cached per slot and invalidated on transitions.  The
+cache is validated against the *identity* of the stored raw value: a
+snapshot-backed storage returns the same frozen object until the slot is
+overwritten, so even a write that bypasses this store (tests do this to
+tamper with records) is picked up.  Existence checks (:attr:`has_new`,
+:attr:`pending_count`) never deserialise state, and the multi-store keeps
+one storage record per pending checkpoint so pushing, committing or
+discarding touches only the affected stack entries — never a re-serialise
+of the whole pending stack.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import StableStorageError
 from repro.stable.storage import InMemoryStableStorage, StableStorage
@@ -48,23 +61,55 @@ def _decode(raw: Optional[dict]) -> Optional[CheckpointRecord]:
     )
 
 
+class _SlotCache:
+    """Identity-validated decode cache shared by both stores."""
+
+    def __init__(self, storage: StableStorage):
+        self._storage = storage
+        self._cache: Dict[str, Tuple[Any, CheckpointRecord]] = {}
+
+    def load(self, key: str) -> Optional[CheckpointRecord]:
+        raw = self._storage.get(key)
+        if raw is None:
+            self._cache.pop(key, None)
+            return None
+        hit = self._cache.get(key)
+        if hit is not None and hit[0] is raw:
+            return hit[1]
+        record = _decode(raw)
+        self._cache[key] = (raw, record)
+        return record
+
+    def invalidate(self, *keys: str) -> None:
+        for key in keys:
+            self._cache.pop(key, None)
+
+
 class CheckpointStore:
     """Two-slot stable checkpoint storage for one process."""
 
     def __init__(self, storage: Optional[StableStorage] = None, namespace: str = "ckpt"):
         self._storage = storage or InMemoryStableStorage()
         self._ns = namespace
+        self._old_key = f"{namespace}.old"
+        self._new_key = f"{namespace}.new"
+        self._slots = _SlotCache(self._storage)
 
     # -- slot accessors -------------------------------------------------
     @property
     def oldchkpt(self) -> Optional[CheckpointRecord]:
         """The latest committed checkpoint, or ``None`` before the first."""
-        return _decode(self._storage.get(f"{self._ns}.old"))
+        return self._slots.load(self._old_key)
 
     @property
     def newchkpt(self) -> Optional[CheckpointRecord]:
         """The pending uncommitted checkpoint, or ``None``."""
-        return _decode(self._storage.get(f"{self._ns}.new"))
+        return self._slots.load(self._new_key)
+
+    @property
+    def has_new(self) -> bool:
+        """``newchkpt != nil``, without deserialising the pending state."""
+        return self._new_key in self._storage
 
     # -- transitions -----------------------------------------------------
     def initialize(self, state: Any, made_at: SimTime = 0.0, seq: Seq = 1) -> CheckpointRecord:
@@ -77,16 +122,18 @@ class CheckpointStore:
         free as the "no messages received" sentinel for ``max_ij``).
         """
         record = CheckpointRecord(seq=seq, state=state, committed=True, made_at=made_at)
-        self._storage.put(f"{self._ns}.old", _encode(record))
-        self._storage.delete(f"{self._ns}.new")
+        self._storage.put(self._old_key, _encode(record))
+        self._storage.delete(self._new_key)
+        self._slots.invalidate(self._old_key, self._new_key)
         return record
 
     def take_new(self, seq: Seq, state: Any, made_at: SimTime = 0.0, **meta: Any) -> CheckpointRecord:
         """Write the uncommitted ``newchkpt`` (fails if one is pending)."""
-        if self.newchkpt is not None:
+        if self.has_new:
             raise StableStorageError("newchkpt already exists; commit or discard it first")
         record = CheckpointRecord(seq=seq, state=state, committed=False, made_at=made_at, meta=meta)
-        self._storage.put(f"{self._ns}.new", _encode(record))
+        self._storage.put(self._new_key, _encode(record))
+        self._slots.invalidate(self._new_key)
         return record
 
     def commit_new(self) -> CheckpointRecord:
@@ -95,13 +142,15 @@ class CheckpointStore:
         if pending is None:
             raise StableStorageError("no newchkpt to commit")
         pending.committed = True
-        self._storage.put(f"{self._ns}.old", _encode(pending))
-        self._storage.delete(f"{self._ns}.new")
+        self._storage.put(self._old_key, _encode(pending))
+        self._storage.delete(self._new_key)
+        self._slots.invalidate(self._old_key, self._new_key)
         return pending
 
     def discard_new(self) -> None:
         """``newchkpt := nil`` (abort); no-op if none pending."""
-        self._storage.delete(f"{self._ns}.new")
+        self._storage.delete(self._new_key)
+        self._slots.invalidate(self._new_key)
 
 
 class MultiCheckpointStore:
@@ -114,71 +163,103 @@ class MultiCheckpointStore:
     with the value of newchkpt_h, and newchkpt_a .. newchkpt_h are
     discarded."  (We commit on the first decision for ``h`` since each commit
     decision certifies the consistency of everything up to ``h``.)
+
+    Storage layout: ``<ns>.old`` (committed slot), ``<ns>.pending`` (the
+    stack *index* — just the sequence numbers, oldest first) and one
+    ``<ns>.pending.<seq>`` record per uncommitted checkpoint, so stack
+    operations re-serialise only the entries they actually touch.
     """
 
     def __init__(self, storage: Optional[StableStorage] = None, namespace: str = "ckpt"):
         self._storage = storage or InMemoryStableStorage()
         self._ns = namespace
+        self._old_key = f"{namespace}.old"
+        self._index_key = f"{namespace}.pending"
+        self._slots = _SlotCache(self._storage)
+
+    def _entry_key(self, seq: Seq) -> str:
+        return f"{self._ns}.pending.{seq}"
 
     # -- accessors -------------------------------------------------------
     @property
     def oldchkpt(self) -> Optional[CheckpointRecord]:
-        return _decode(self._storage.get(f"{self._ns}.old"))
+        return self._slots.load(self._old_key)
+
+    @property
+    def pending_seqs(self) -> List[Seq]:
+        """Sequence numbers of the uncommitted checkpoints, oldest first."""
+        return list(self._storage.get(self._index_key, ()))
+
+    @property
+    def pending_count(self) -> int:
+        """Depth of the uncommitted stack, without decoding any state."""
+        return len(self._storage.get(self._index_key, ()))
 
     @property
     def pending(self) -> List[CheckpointRecord]:
         """Uncommitted checkpoints, oldest first."""
-        raw = self._storage.get(f"{self._ns}.pending", [])
-        return [_decode(r) for r in raw]
+        return [self._entry(seq) for seq in self.pending_seqs]
+
+    def _entry(self, seq: Seq) -> CheckpointRecord:
+        record = self._slots.load(self._entry_key(seq))
+        if record is None:
+            raise StableStorageError(f"pending checkpoint record {seq} missing from storage")
+        return record
 
     @property
     def newest(self) -> Optional[CheckpointRecord]:
         """The most recent uncommitted checkpoint (``newchkpt_l``), if any."""
-        pending = self.pending
-        return pending[-1] if pending else None
+        seqs = self.pending_seqs
+        return self._entry(seqs[-1]) if seqs else None
 
     def find(self, seq: Seq) -> Optional[CheckpointRecord]:
         """The pending checkpoint with sequence number ``seq``, if any."""
-        for record in self.pending:
-            if record.seq == seq:
-                return record
-        return None
+        if seq not in self.pending_seqs:
+            return None
+        return self._entry(seq)
 
     # -- transitions -----------------------------------------------------
     def initialize(self, state: Any, made_at: SimTime = 0.0, seq: Seq = 1) -> CheckpointRecord:
         record = CheckpointRecord(seq=seq, state=state, committed=True, made_at=made_at)
-        self._storage.put(f"{self._ns}.old", _encode(record))
-        self._storage.put(f"{self._ns}.pending", [])
+        self._storage.put(self._old_key, _encode(record))
+        self._drop_entries(self.pending_seqs)
+        self._storage.put(self._index_key, [])
+        self._slots.invalidate(self._old_key)
         return record
 
-    def _save_pending(self, pending: List[CheckpointRecord]) -> None:
-        self._storage.put(f"{self._ns}.pending", [_encode(r) for r in pending])
+    def _drop_entries(self, seqs: List[Seq]) -> None:
+        for seq in seqs:
+            self._storage.delete(self._entry_key(seq))
+            self._slots.invalidate(self._entry_key(seq))
 
     def push(self, seq: Seq, state: Any, made_at: SimTime = 0.0, **meta: Any) -> CheckpointRecord:
-        """Append a new uncommitted checkpoint (must be newer than the last)."""
-        pending = self.pending
-        if pending and seq <= pending[-1].seq:
+        """Append a new uncommitted checkpoint (must be newer than the last).
+
+        Touches exactly one entry record plus the (tiny) stack index; the
+        existing entries are not re-serialised.
+        """
+        seqs = self.pending_seqs
+        if seqs and seq <= seqs[-1]:
             raise StableStorageError(
-                f"checkpoint seq {seq} not newer than pending seq {pending[-1].seq}"
+                f"checkpoint seq {seq} not newer than pending seq {seqs[-1]}"
             )
         record = CheckpointRecord(seq=seq, state=state, committed=False, made_at=made_at, meta=meta)
-        pending.append(record)
-        self._save_pending(pending)
+        self._storage.put(self._entry_key(seq), _encode(record))
+        self._slots.invalidate(self._entry_key(seq))
+        self._storage.put(self._index_key, seqs + [seq])
         return record
 
     def commit_through(self, seq: Seq) -> CheckpointRecord:
         """Commit the pending checkpoint with ``seq`` and discard older ones."""
-        pending = self.pending
-        target = None
-        for record in pending:
-            if record.seq == seq:
-                target = record
-                break
-        if target is None:
+        seqs = self.pending_seqs
+        if seq not in seqs:
             raise StableStorageError(f"no pending checkpoint with seq {seq}")
+        target = self._entry(seq)
         target.committed = True
-        self._storage.put(f"{self._ns}.old", _encode(target))
-        self._save_pending([r for r in pending if r.seq > seq])
+        self._storage.put(self._old_key, _encode(target))
+        self._drop_entries([s for s in seqs if s <= seq])
+        self._storage.put(self._index_key, [s for s in seqs if s > seq])
+        self._slots.invalidate(self._old_key)
         return target
 
     def discard_from(self, seq: Seq) -> List[CheckpointRecord]:
@@ -187,14 +268,17 @@ class MultiCheckpointStore:
         Used by the extension's rollback cases 2.1/2.2, which abort
         ``newchkpt_h .. newchkpt_l``.  Returns the discarded records.
         """
-        pending = self.pending
-        kept = [r for r in pending if r.seq < seq]
-        dropped = [r for r in pending if r.seq >= seq]
-        self._save_pending(kept)
+        seqs = self.pending_seqs
+        dropped_seqs = [s for s in seqs if s >= seq]
+        dropped = [self._entry(s) for s in dropped_seqs]
+        self._drop_entries(dropped_seqs)
+        self._storage.put(self._index_key, [s for s in seqs if s < seq])
         return dropped
 
     def discard_all(self) -> List[CheckpointRecord]:
         """Discard every pending checkpoint."""
-        pending = self.pending
-        self._save_pending([])
-        return pending
+        seqs = self.pending_seqs
+        dropped = [self._entry(s) for s in seqs]
+        self._drop_entries(seqs)
+        self._storage.put(self._index_key, [])
+        return dropped

@@ -5,17 +5,27 @@ process can always restore its last checkpointed state."
 
 :class:`StableStorage` is a tiny key/value interface with exactly the
 semantics the algorithms need: writes are atomic and survive crashes, reads
-after a crash see the last completed write.  Two implementations:
+after a crash see the last completed write.  Backends:
 
 * :class:`InMemoryStableStorage` — the default for simulations; "stable"
   simply means it lives outside the node object that gets reset on crash.
+  Backed by the :mod:`repro.stable.snapshot` engine: ``put`` freezes the
+  value (O(changed) when unchanged sub-trees are reused) and ``get`` returns
+  the frozen view without copying — callers :func:`~repro.stable.snapshot.thaw`
+  explicitly if they need to mutate.
+* :class:`DeepCopyStableStorage` — the historical copy-on-every-access
+  backend, kept as the baseline the E-PERF benchmark and the equivalence
+  property tests measure the snapshot engine against.
 * :class:`FileStableStorage` — JSON-per-key on disk, with atomic rename
   writes; used by the file-backed examples and to demonstrate that the
   checkpoint records round-trip through real persistence.
+* :class:`WriteBehindFileStableStorage` — batched variant: puts buffer in
+  memory and a group-commit ``flush`` writes them all, each through the same
+  tmp-file + atomic-rename path, so flushed records are never torn.
 
-Values must be JSON-serialisable for the file backend; the in-memory backend
-stores deep copies so a caller mutating a stored object cannot corrupt the
-"disk".
+Values must be JSON-shaped (dicts, lists, tuples, scalars) — the snapshot
+engine enforces for the in-memory backend what JSON encoding enforces for
+the file backends.
 """
 
 from __future__ import annotations
@@ -24,9 +34,14 @@ import copy
 import json
 import os
 import tempfile
-from typing import Any, Dict, Iterator
+from typing import Any, Dict, Iterator, Optional
 
 from repro.errors import StableStorageError
+from repro.stable.snapshot import SnapshotEngine
+
+_KEY_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-."
+)
 
 
 class StableStorage:
@@ -50,7 +65,44 @@ class StableStorage:
 
 
 class InMemoryStableStorage(StableStorage):
-    """Dictionary-backed stable storage with copy-on-write semantics."""
+    """Dictionary-backed stable storage over the snapshot engine.
+
+    ``put`` freezes (no deep copy; caller mutations cannot leak in because
+    mutable containers are converted, not aliased).  ``get`` hands out the
+    stored frozen view directly — an O(1) read; mutation attempts raise and
+    ``thaw()`` is the explicit escape hatch.  Identical sub-trees are
+    interned by content hash, so the two checkpoint slots and successive
+    checkpoints share structure instead of duplicating it.
+    """
+
+    def __init__(self, engine: Optional[SnapshotEngine] = None) -> None:
+        self._data: Dict[str, Any] = {}
+        self.engine = engine or SnapshotEngine()
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = self.engine.store(key, value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+        self.engine.forget(key)
+
+    def keys(self) -> Iterator[str]:
+        return iter(sorted(self._data))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+
+class DeepCopyStableStorage(StableStorage):
+    """The pre-snapshot-engine backend: deep copy on every put *and* get.
+
+    Semantically interchangeable with :class:`InMemoryStableStorage` (the
+    equivalence property tests assert identical protocol traces); kept as
+    the measured baseline for the E-PERF checkpoint-throughput comparison.
+    """
 
     def __init__(self) -> None:
         self._data: Dict[str, Any] = {}
@@ -69,13 +121,50 @@ class InMemoryStableStorage(StableStorage):
     def keys(self) -> Iterator[str]:
         return iter(sorted(self._data))
 
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+
+def escape_key(key: str) -> str:
+    """Reversible, filesystem-safe encoding of a storage key.
+
+    Safe characters pass through; anything else (including ``/``, ``%`` and
+    a *leading* dot, which would collide with hidden/tmp files) becomes
+    ``%XX`` per UTF-8 byte.  Distinct keys always map to distinct names —
+    the old ``os.sep -> "_"`` squash mapped ``a/b`` and ``a_b`` to the same
+    file.
+    """
+    out = []
+    for index, char in enumerate(key):
+        if char in _KEY_SAFE and not (char == "." and index == 0):
+            out.append(char)
+        else:
+            out.extend("%{:02X}".format(byte) for byte in char.encode("utf-8"))
+    return "".join(out)
+
+
+def unescape_key(name: str) -> str:
+    """Inverse of :func:`escape_key`."""
+    raw = bytearray()
+    index = 0
+    while index < len(name):
+        char = name[index]
+        if char == "%":
+            raw.extend(bytes.fromhex(name[index + 1:index + 3]))
+            index += 3
+        else:
+            raw.extend(char.encode("utf-8"))
+            index += 1
+    return raw.decode("utf-8")
+
 
 class FileStableStorage(StableStorage):
     """One JSON file per key under ``root``; writes are atomic renames.
 
     The atomic rename is what makes this *stable*: a crash mid-write leaves
     either the old value or the new value, never a torn record — the
-    Lampson-Sturgis contract the paper cites.
+    Lampson-Sturgis contract the paper cites.  Keys round-trip through
+    :func:`escape_key`, so ``keys()`` returns exactly what was put.
     """
 
     def __init__(self, root: str):
@@ -83,15 +172,15 @@ class FileStableStorage(StableStorage):
         os.makedirs(root, exist_ok=True)
 
     def _path(self, key: str) -> str:
-        safe = key.replace(os.sep, "_")
-        return os.path.join(self.root, f"{safe}.json")
+        return os.path.join(self.root, f"{escape_key(key)}.json")
 
-    def put(self, key: str, value: Any) -> None:
-        path = self._path(key)
+    def _encode(self, key: str, value: Any) -> str:
         try:
-            payload = json.dumps(value)
+            return json.dumps(value)
         except (TypeError, ValueError) as exc:
             raise StableStorageError(f"value for {key!r} is not JSON-serialisable: {exc}") from exc
+
+    def _write_atomic(self, path: str, payload: str) -> None:
         fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-")
         try:
             with os.fdopen(fd, "w") as handle:
@@ -101,6 +190,9 @@ class FileStableStorage(StableStorage):
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+
+    def put(self, key: str, value: Any) -> None:
+        self._write_atomic(self._path(key), self._encode(key, value))
 
     def get(self, key: str, default: Any = None) -> Any:
         path = self._path(key)
@@ -118,6 +210,97 @@ class FileStableStorage(StableStorage):
             os.unlink(path)
 
     def keys(self) -> Iterator[str]:
-        for name in sorted(os.listdir(self.root)):
-            if name.endswith(".json") and not name.startswith(".tmp-"):
-                yield name[: -len(".json")]
+        found = [
+            unescape_key(name[: -len(".json")])
+            for name in os.listdir(self.root)
+            if name.endswith(".json") and not name.startswith(".tmp-")
+        ]
+        return iter(sorted(found))
+
+
+class WriteBehindFileStableStorage(FileStableStorage):
+    """Batched :class:`FileStableStorage` with a group-commit ``flush``.
+
+    Puts and deletes buffer in memory (values are JSON-encoded immediately,
+    preserving both the put-time error contract and put-time value capture)
+    and reads are served buffer-first, so the store is always read-your-
+    writes consistent.  ``flush`` applies the whole batch: every buffered
+    value is written to a temp file first, then the batch is published with
+    one atomic rename per key — a flushed record is never torn, exactly the
+    per-key contract of the unbatched backend.  Durability is batch-
+    granular by design (write-behind): records buffered since the last
+    flush are lost on a crash, which the checkpoint layer tolerates because
+    an uncommitted ``newchkpt`` may always be aborted.
+    """
+
+    _DELETED = object()
+
+    def __init__(self, root: str, flush_every: int = 64):
+        super().__init__(root)
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.flush_every = flush_every
+        self.flushes = 0
+        self._buffer: Dict[str, Any] = {}
+        self._ops_since_flush = 0
+
+    def _note_op(self) -> None:
+        # The threshold counts operations, not distinct keys: a checkpoint
+        # workload rewrites the same few keys over and over, and batching
+        # must still bound how much history a crash can lose.
+        self._ops_since_flush += 1
+        if self._ops_since_flush >= self.flush_every:
+            self.flush()
+
+    def put(self, key: str, value: Any) -> None:
+        self._buffer[key] = self._encode(key, value)
+        self._note_op()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if key in self._buffer:
+            entry = self._buffer[key]
+            return default if entry is self._DELETED else json.loads(entry)
+        return super().get(key, default)
+
+    def delete(self, key: str) -> None:
+        self._buffer[key] = self._DELETED
+        self._note_op()
+
+    def keys(self) -> Iterator[str]:
+        on_disk = set(super().keys())
+        for key, entry in self._buffer.items():
+            if entry is self._DELETED:
+                on_disk.discard(key)
+            else:
+                on_disk.add(key)
+        return iter(sorted(on_disk))
+
+    def flush(self) -> None:
+        """Group-commit the buffered batch to disk."""
+        self._ops_since_flush = 0
+        if not self._buffer:
+            return
+        staged = []
+        try:
+            for key, entry in sorted(self._buffer.items()):
+                if entry is self._DELETED:
+                    continue
+                fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-")
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(entry)
+                staged.append((tmp, self._path(key)))
+        except OSError:
+            for tmp, _path in staged:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+            raise
+        for tmp, path in staged:
+            os.replace(tmp, path)
+        for key, entry in self._buffer.items():
+            if entry is self._DELETED:
+                super().delete(key)
+        self._buffer.clear()
+        self.flushes += 1
+
+    def close(self) -> None:
+        self.flush()

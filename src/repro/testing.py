@@ -6,7 +6,7 @@ experiment code reads as scenario logic only.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Type
 
 from repro.core import CheckpointProcess, ProtocolConfig
 from repro.failure import FailureDetector
@@ -25,6 +25,7 @@ def build_sim(
     detector_latency: Optional[float] = None,
     spoolers: bool = False,
     sinks: Optional[List[TraceSink]] = None,
+    storage_factory: Optional[Callable[[int], object]] = None,
 ):
     """Build a started simulation with ``n`` protocol processes.
 
@@ -32,7 +33,9 @@ def build_sim(
     ``detector_latency`` set a failure detector is attached; with
     ``spoolers`` each process gets a two-replica spooler group on its
     neighbours (the Section 6 configuration).  ``sinks`` configures the
-    trace pipeline (default: one in-memory sink).
+    trace pipeline (default: one in-memory sink).  ``storage_factory``
+    supplies each process's stable-storage backend (pid -> storage); the
+    default is each process's own snapshot-backed in-memory storage.
     """
     sim = Simulation(
         seed=seed,
@@ -41,7 +44,10 @@ def build_sim(
         sinks=sinks,
     )
     procs: Dict[int, CheckpointProcess] = {
-        i: sim.add_node(cls(i, config)) for i in range(n)
+        i: sim.add_node(
+            cls(i, config, storage=storage_factory(i) if storage_factory else None)
+        )
+        for i in range(n)
     }
     if detector_latency is not None:
         FailureDetector(sim, detection_latency=detector_latency)

@@ -9,6 +9,7 @@ from repro.analysis import (
     check_quiescent,
 )
 from repro.errors import ConsistencyViolation
+from repro.stable import thaw
 from repro.testing import build_sim
 
 
@@ -32,11 +33,12 @@ def test_c1_detects_orphan_receive():
     """Tamper with the sender's manifest: the checker must flag it."""
     sim, procs = run_consistent_pair()
     record = procs[0].store.oldchkpt
-    record.meta["sent"] = []
+    meta = thaw(record.meta)  # stored records are frozen snapshots
+    meta["sent"] = []
     # Write the tampered record back through the store's own storage.
     procs[0].storage.put("ckpt.old", {
         "seq": record.seq, "state": record.state, "committed": True,
-        "made_at": record.made_at, "meta": record.meta,
+        "made_at": record.made_at, "meta": meta,
     })
     with pytest.raises(ConsistencyViolation, match="C1"):
         check_c1(procs.values())

@@ -180,9 +180,57 @@ def test_double_cancel_counts_once():
     event.cancel()
     assert sched.events_cancelled == 1
     assert sched.pending == 0
-    assert sched.pending_raw == 1
+    # Cancelling the heap's only event makes tombstones the majority, so
+    # compaction evicts it right away.
+    assert sched.pending_raw == 0
     sched.run()
     assert sched.pending_raw == 0
+
+
+def test_compaction_evicts_cancelled_majority():
+    sched = Scheduler()
+    keep = [sched.at(float(k), lambda: None) for k in range(4)]
+    drop = [sched.at(float(10 + k), lambda: None) for k in range(5)]
+    for k, event in enumerate(drop):
+        event.cancel()
+        if k < 4:  # 1..4 dead of 9 total: still a minority
+            assert sched.compactions == 0
+    # The fifth cancel tips the majority and triggers a rebuild.
+    assert sched.compactions == 1
+    assert sched.pending == 4
+    assert sched.pending_raw == 4
+    assert all(not event.cancelled for event in keep)
+
+
+def test_compaction_preserves_firing_order():
+    sched = Scheduler()
+    order = []
+    keep = []
+    drop = []
+    for k in range(20):
+        target = keep if k % 3 == 0 else drop
+        target.append(sched.at(float(k), lambda k=k: order.append(k)))
+    for event in drop:
+        event.cancel()
+    assert sched.compactions >= 1
+    sched.run()
+    assert order == sorted(k for k in range(20) if k % 3 == 0)
+
+
+def test_cancel_after_compaction_is_harmless():
+    sched = Scheduler()
+    sched.at(1.0, lambda: None)
+    doomed = [sched.at(2.0, lambda: None) for _ in range(3)]
+    for event in doomed:
+        event.cancel()
+    assert sched.compactions >= 1
+    assert sched.pending_raw == 1  # only the live event survived
+    # Evicted events lost their hook: re-cancelling must not skew counters.
+    for event in doomed:
+        event.cancel()
+    assert sched.events_cancelled == 3
+    assert sched.pending == 1
+    assert sched.pending_raw == 1
 
 
 def test_cancel_after_fire_does_not_skew_pending():

@@ -5,14 +5,26 @@ import os
 import pytest
 
 from repro.errors import StableStorageError
-from repro.stable import FileStableStorage, InMemoryStableStorage
+from repro.stable import (
+    DeepCopyStableStorage,
+    FileStableStorage,
+    InMemoryStableStorage,
+    WriteBehindFileStableStorage,
+    escape_key,
+    thaw,
+    unescape_key,
+)
 
 
-@pytest.fixture(params=["memory", "file"])
+@pytest.fixture(params=["memory", "deepcopy", "file", "write-behind"])
 def storage(request, tmp_path):
     if request.param == "memory":
         return InMemoryStableStorage()
-    return FileStableStorage(str(tmp_path / "stable"))
+    if request.param == "deepcopy":
+        return DeepCopyStableStorage()
+    if request.param == "file":
+        return FileStableStorage(str(tmp_path / "stable"))
+    return WriteBehindFileStableStorage(str(tmp_path / "stable"), flush_every=4)
 
 
 def test_put_get_roundtrip(storage):
@@ -50,14 +62,39 @@ def test_keys_sorted(storage):
     assert list(storage.keys()) == ["a", "b", "c"]
 
 
-def test_memory_storage_is_copy_on_write():
-    storage = InMemoryStableStorage()
+def test_caller_mutation_never_leaks_in(storage):
     value = {"x": [1]}
     storage.put("k", value)
-    value["x"].append(2)  # caller mutation must not leak in
+    value["x"].append(2)  # caller mutation after put must not leak in
     assert storage.get("k") == {"x": [1]}
+
+
+def test_memory_storage_returns_frozen_views():
+    """``get`` is zero-copy: the view is immutable, ``thaw`` is the escape
+    hatch (the old backend deep-copied on every read instead)."""
+    storage = InMemoryStableStorage()
+    storage.put("k", {"x": [1]})
     out = storage.get("k")
-    out["x"].append(3)  # reader mutation must not leak back
+    with pytest.raises(TypeError, match="frozen"):
+        out["x"].append(3)
+    with pytest.raises(TypeError, match="frozen"):
+        out["y"] = 1
+    editable = thaw(out)
+    editable["x"].append(3)  # thawed copies are independent of the store
+    assert storage.get("k") == {"x": [1]}
+    assert storage.get("k") is out  # repeated reads share the frozen view
+
+
+def test_memory_storage_rejects_unfreezable():
+    with pytest.raises(StableStorageError):
+        InMemoryStableStorage().put("k", object())
+
+
+def test_deepcopy_storage_is_copy_on_access():
+    storage = DeepCopyStableStorage()
+    storage.put("k", {"x": [1]})
+    out = storage.get("k")
+    out["x"].append(3)  # baseline semantics: reader mutation cannot leak back
     assert storage.get("k") == {"x": [1]}
 
 
@@ -91,3 +128,105 @@ def test_file_storage_no_tmp_leftovers(tmp_path):
         storage.put(f"key{k}", k)
     leftovers = [n for n in os.listdir(root) if n.startswith(".tmp-")]
     assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Key escaping (reversible; distinct keys -> distinct files)
+# ----------------------------------------------------------------------
+
+AWKWARD_KEYS = ["a/b", "a_b", "a b", "a%b", "üñï", ".hidden", ".tmp-x", "a.b"]
+
+
+@pytest.mark.parametrize("key", AWKWARD_KEYS)
+def test_escape_key_roundtrips(key):
+    assert unescape_key(escape_key(key)) == key
+
+
+def test_escape_key_is_injective_for_former_collisions():
+    assert escape_key("a/b") != escape_key("a_b")
+
+
+def test_file_storage_keys_roundtrip(tmp_path):
+    storage = FileStableStorage(str(tmp_path / "stable"))
+    for i, key in enumerate(AWKWARD_KEYS):
+        storage.put(key, i)
+    assert list(storage.keys()) == sorted(AWKWARD_KEYS)
+    for i, key in enumerate(AWKWARD_KEYS):
+        assert storage.get(key) == i
+
+
+def test_file_storage_slash_and_underscore_no_longer_collide(tmp_path):
+    storage = FileStableStorage(str(tmp_path / "stable"))
+    storage.put("a/b", "slash")
+    storage.put("a_b", "underscore")
+    assert storage.get("a/b") == "slash"
+    assert storage.get("a_b") == "underscore"
+
+
+# ----------------------------------------------------------------------
+# Write-behind batching (group commit)
+# ----------------------------------------------------------------------
+
+def test_write_behind_buffers_until_flush(tmp_path):
+    root = str(tmp_path / "stable")
+    storage = WriteBehindFileStableStorage(root, flush_every=100)
+    storage.put("k", {"v": 1})
+    assert storage.get("k") == {"v": 1}  # read-your-writes from the buffer
+    assert FileStableStorage(root).get("k") is None  # nothing on disk yet
+    storage.flush()
+    assert FileStableStorage(root).get("k") == {"v": 1}
+    assert storage.flushes == 1
+
+
+def test_write_behind_auto_flushes_at_threshold(tmp_path):
+    root = str(tmp_path / "stable")
+    storage = WriteBehindFileStableStorage(root, flush_every=3)
+    for i in range(3):
+        storage.put(f"k{i}", i)
+    assert storage.flushes == 1
+    assert FileStableStorage(root).get("k2") == 2
+
+
+def test_write_behind_counts_ops_not_distinct_keys(tmp_path):
+    # A checkpoint workload rewrites the same few keys; the threshold must
+    # still bound un-flushed history.
+    root = str(tmp_path / "stable")
+    storage = WriteBehindFileStableStorage(root, flush_every=4)
+    for i in range(4):
+        storage.put("same", i)
+    assert storage.flushes == 1
+    assert FileStableStorage(root).get("same") == 3
+
+
+def test_write_behind_last_write_wins_within_batch(tmp_path):
+    root = str(tmp_path / "stable")
+    storage = WriteBehindFileStableStorage(root, flush_every=100)
+    storage.put("k", 1)
+    storage.delete("k")
+    storage.put("j", 1)
+    storage.put("j", 2)
+    storage.flush()
+    durable = FileStableStorage(root)
+    assert durable.get("k") is None
+    assert durable.get("j") == 2
+
+
+def test_write_behind_delete_of_flushed_key(tmp_path):
+    root = str(tmp_path / "stable")
+    storage = WriteBehindFileStableStorage(root, flush_every=100)
+    storage.put("k", 1)
+    storage.flush()
+    storage.delete("k")
+    assert "k" not in storage  # buffer-first read sees the delete
+    storage.flush()
+    assert FileStableStorage(root).get("k") is None
+
+
+def test_write_behind_close_flushes_and_leaves_no_tmp(tmp_path):
+    root = str(tmp_path / "stable")
+    storage = WriteBehindFileStableStorage(root, flush_every=100)
+    for i in range(10):
+        storage.put(f"k{i}", i)
+    storage.close()
+    assert [n for n in os.listdir(root) if n.startswith(".tmp-")] == []
+    assert FileStableStorage(root).get("k9") == 9
