@@ -94,6 +94,41 @@ class TraceIndex(TraceSink):
 
     is_index = True
 
+    @classmethod
+    def from_jsonl_files(cls, paths: Iterable[str]) -> "TraceIndex":
+        """Stitch per-node :class:`~repro.sim.trace.JsonlStreamSink` files
+        into one index.
+
+        A live cluster streams each process's events to its own JSONL file,
+        so no single file is globally ordered.  Events are merged by
+        ``(time, original index, file position)`` — time first (the global
+        order of a live run), original emit index as the same-instant
+        tiebreak (exact for files that share one emitting trace, and a
+        deterministic convention for files from independent traces whose
+        clocks may disagree) — then renumbered 0..N-1 so downstream
+        consumers see a dense, ordered stream, exactly as if one trace had
+        recorded everything.
+        """
+        keyed: List[Tuple[float, int, int, TraceEvent]] = []
+        position = 0
+        for path in paths:
+            for event in T.load_jsonl(path):
+                keyed.append((event.time, event.index, position, event))
+                position += 1
+        keyed.sort(key=lambda entry: entry[:3])
+        index = cls()
+        for new_index, (_, _, _, event) in enumerate(keyed):
+            index.emit(
+                TraceEvent(
+                    index=new_index,
+                    time=event.time,
+                    kind=event.kind,
+                    pid=event.pid,
+                    fields=event.fields,
+                )
+            )
+        return index
+
     def __init__(self) -> None:
         self.events_indexed = 0
         self._by_kind: Dict[str, List[TraceEvent]] = {}

@@ -54,6 +54,23 @@ class ConsistencyViolation(ReproError):
         super().__init__(f"{constraint} violated: {detail}")
 
 
+class WireError(ReproError):
+    """A live-runtime wire frame could not be encoded or decoded.
+
+    Raised for unregistered body types, oversized frames, and truncated or
+    malformed payloads read off a socket.
+    """
+
+
+class TransportError(ReproError):
+    """A live-runtime transport was misused or failed to start.
+
+    Distinct from :class:`NetworkError` (routing policy): this covers the
+    socket/loopback machinery itself — double starts, unknown endpoints,
+    sends on a stopped transport.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload script referenced an unknown process or malformed step."""
 

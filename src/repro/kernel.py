@@ -1,0 +1,185 @@
+"""The runtime-agnostic kernel contract shared by simulator and live runtime.
+
+Protocol code in :mod:`repro.core`, :mod:`repro.failure` and
+:mod:`repro.baselines` never talks to the event loop directly — it goes
+through the object bound as ``node.sim``.  Historically that object was
+always :class:`repro.sim.simulation.Simulation`; this module names the
+actual contract so the *same* protocol classes run under the discrete-event
+simulator and under :class:`repro.runtime.loop.AsyncRuntime` (real timers,
+real sockets) without a single ``if sim:`` branch.
+
+The contract has three parts:
+
+* :class:`TimerHandle` / :class:`SchedulerLike` — a clock (``now``) plus
+  cancellable one-shot callbacks (``at`` / ``after``).  The simulator's
+  :class:`~repro.sim.scheduler.Scheduler` pops a heap in virtual time; the
+  async runtime arms real :mod:`asyncio` timers.  ``priority`` is a
+  same-instant tiebreak that only a virtual-time kernel can honour; real
+  kernels accept and ignore it (two live timers never share an instant).
+* :class:`KernelLike` — what protocol/failure code reads off ``node.sim``:
+  the clock, the scheduler, the trace, the network facade, named RNG
+  streams, id allocation, the failure-detector slot, and liveness queries.
+* :class:`KernelCore` — the shared concrete half: node registry, liveness,
+  and the crash/recover transitions (which must behave identically in both
+  worlds, down to the trace records and failure-detector reports).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.errors import SimulationError
+from repro.types import IdAllocator, ProcessId, SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.sim.node import Node
+    from repro.sim.rng import Rng
+    from repro.sim.trace import Trace
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A scheduled callback that can be cancelled before it fires."""
+
+    cancelled: bool
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        ...
+
+
+@runtime_checkable
+class SchedulerLike(Protocol):
+    """Clock + cancellable timers — the kernel's time authority."""
+
+    @property
+    def now(self) -> SimTime:
+        """Current kernel time, in protocol time units."""
+        ...
+
+    def at(
+        self,
+        time: SimTime,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> TimerHandle:
+        """Run ``action`` at absolute kernel time ``time``."""
+        ...
+
+    def after(
+        self,
+        delay: SimTime,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> TimerHandle:
+        """Run ``action`` ``delay`` time units from now."""
+        ...
+
+
+@runtime_checkable
+class KernelLike(Protocol):
+    """What a bound protocol node may ask of its substrate (``node.sim``)."""
+
+    scheduler: SchedulerLike
+    trace: "Trace"
+    network: "Network"
+    rng: "Rng"
+    ids: IdAllocator
+    failure_detector: Optional[Any]
+    nodes: Dict[ProcessId, "Node"]
+
+    @property
+    def now(self) -> SimTime: ...
+
+    @property
+    def process_ids(self) -> List[ProcessId]: ...
+
+    def is_alive(self, pid: ProcessId) -> bool: ...
+
+    def crash(self, pid: ProcessId) -> None: ...
+
+    def recover(self, pid: ProcessId, stable_state: Any = None) -> None: ...
+
+
+class KernelCore:
+    """Node registry, liveness and failure transitions shared by kernels.
+
+    Subclasses (:class:`~repro.sim.simulation.Simulation`,
+    :class:`~repro.runtime.loop.AsyncRuntime`) must provide ``scheduler``,
+    ``trace``, ``network``, ``rng`` and a ``now`` property; everything here
+    is kernel-agnostic and — crucially — byte-identical between the two, so
+    crash/recovery semantics cannot drift between simulation and deployment.
+    """
+
+    trace: "Trace"
+
+    def __init__(self) -> None:
+        self.nodes: Dict[ProcessId, "Node"] = {}
+        self.ids = IdAllocator()
+        self.failure_detector: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(self, node: "Node") -> "Node":
+        """Register ``node``; ids must be unique."""
+        if node.node_id in self.nodes:
+            raise SimulationError(f"duplicate node id {node.node_id}")
+        node.bind(self)
+        self.nodes[node.node_id] = node
+        return node
+
+    def node(self, pid: ProcessId) -> "Node":
+        return self.nodes[pid]
+
+    @property
+    def process_ids(self) -> List[ProcessId]:
+        return sorted(self.nodes)
+
+    def is_alive(self, pid: ProcessId) -> bool:
+        """True if ``pid`` exists and is not crashed."""
+        node = self.nodes.get(pid)
+        return node is not None and not node.crashed
+
+    def alive_processes(self) -> List[ProcessId]:
+        return [pid for pid in self.process_ids if self.is_alive(pid)]
+
+    # ------------------------------------------------------------------
+    # Time (subclasses own the scheduler)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        return self.scheduler.now  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Failures
+    # ------------------------------------------------------------------
+    def crash(self, pid: ProcessId) -> None:
+        """Crash ``pid``: clean fail-stop, volatile state and timers lost."""
+        from repro.sim import trace as T  # deferred: repro.sim imports this module
+
+        node = self.nodes[pid]
+        if node.crashed:
+            raise SimulationError(f"P{pid} is already crashed")
+        node.crashed = True
+        node.cancel_all_timers()
+        self.trace.record(self.now, T.K_CRASH, pid=pid)
+        node.on_crash()
+        if self.failure_detector is not None:
+            self.failure_detector.report_crash(pid)
+
+    def recover(self, pid: ProcessId, stable_state: Any = None) -> None:
+        """Restart ``pid`` from its stable storage."""
+        from repro.sim import trace as T  # deferred: repro.sim imports this module
+
+        node = self.nodes[pid]
+        if not node.crashed:
+            raise SimulationError(f"P{pid} is not crashed")
+        node.crashed = False
+        self.trace.record(self.now, T.K_RECOVER, pid=pid)
+        node.on_recover(stable_state)
+        if self.failure_detector is not None:
+            self.failure_detector.report_recovery(pid)

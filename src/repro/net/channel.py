@@ -15,9 +15,36 @@ happens in :class:`repro.net.network.Network`, not here.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Protocol, Tuple, runtime_checkable
 
 from repro.types import ProcessId, SimTime
+
+
+@runtime_checkable
+class Channel(Protocol):
+    """Ordering discipline contract shared by the simulator and the runtime.
+
+    Given the send time and a raw transit delay, a channel decides *when*
+    the message is delivered.  :class:`repro.net.network.Network` consults it
+    to schedule simulated deliveries; the live runtime's
+    :class:`repro.runtime.transport.LoopbackTransport` consults the same
+    object to schedule real-timer deliveries, so one policy object defines
+    the ordering contract in both worlds.  ``fifo`` advertises whether the
+    policy guarantees per-pair send order (the paper's algorithm must work
+    with ``fifo = False``).
+    """
+
+    fifo: bool
+
+    def delivery_time(
+        self, src: ProcessId, dst: ProcessId, send_time: SimTime, delay: SimTime
+    ) -> SimTime:
+        """Absolute delivery time for a message handed over at ``send_time``."""
+        ...
+
+    def reset(self) -> None:
+        """Forget any per-channel state (between independent runs)."""
+        ...
 
 
 class NonFifoChannel:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set
 
 from repro.errors import NetworkError
-from repro.net.channel import NonFifoChannel
+from repro.net.channel import Channel, NonFifoChannel
 from repro.net.delay import DelayModel, UniformDelay
 from repro.net.message import CONTROL, Envelope
 from repro.net.spooler import SpoolerGroup
@@ -29,20 +29,28 @@ from repro.sim.event import PRIORITY_NORMAL
 from repro.types import ProcessId
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.simulation import Simulation
+    from repro.kernel import KernelLike
 
 
 class Network:
-    """Routes envelopes between the nodes of one simulation."""
+    """Routes envelopes between the nodes of one kernel.
+
+    Bound to any :class:`repro.kernel.KernelLike` substrate — historically a
+    :class:`~repro.sim.simulation.Simulation` (the attribute is still called
+    ``sim``), but the live runtime's
+    :class:`repro.runtime.network.RuntimeNetwork` subclasses this and reuses
+    everything except :meth:`transmit` (partition policy, spooler registry,
+    crash filtering, counters, and the delivery-time bookkeeping).
+    """
 
     def __init__(
         self,
         delay_model: Optional[DelayModel] = None,
-        channel: Optional[object] = None,
+        channel: Optional[Channel] = None,
     ):
         self.delay_model: DelayModel = delay_model or UniformDelay()
-        self.channel = channel or NonFifoChannel()
-        self._sim: Optional["Simulation"] = None
+        self.channel: Channel = channel or NonFifoChannel()
+        self._sim: Optional["KernelLike"] = None
         self._partition: Optional[List[FrozenSet[ProcessId]]] = None
         self._spoolers: Dict[ProcessId, SpoolerGroup] = {}
         # Counters for the comparison benchmarks.
@@ -55,15 +63,15 @@ class Network:
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
-    def bind(self, sim: "Simulation") -> None:
+    def bind(self, sim: "KernelLike") -> None:
         if self._sim is not None:
-            raise NetworkError("network already bound to a simulation")
+            raise NetworkError("network already bound to a kernel")
         self._sim = sim
 
     @property
-    def sim(self) -> "Simulation":
+    def sim(self) -> "KernelLike":
         if self._sim is None:
-            raise NetworkError("network not bound to a simulation")
+            raise NetworkError("network not bound to a kernel")
         return self._sim
 
     # ------------------------------------------------------------------
@@ -133,18 +141,25 @@ class Network:
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
-    def transmit(self, envelope: Envelope) -> None:
-        """Accept an envelope from ``envelope.src`` and schedule its delivery."""
-        sim = self.sim
-        if envelope.dst not in sim.nodes:
-            raise NetworkError(f"unknown destination P{envelope.dst}")
-        envelope.send_time = sim.now
+    def _accept(self, envelope: Envelope) -> None:
+        """Stamp the send time and bump the sent counters.
 
+        Shared by the simulated :meth:`transmit` and the runtime transports,
+        so the Section 5 message-count comparisons mean the same thing in
+        both worlds.
+        """
+        envelope.send_time = self.sim.now
         if envelope.category == CONTROL:
             self.control_sent += 1
         else:
             self.normal_sent += 1
 
+    def transmit(self, envelope: Envelope) -> None:
+        """Accept an envelope from ``envelope.src`` and schedule its delivery."""
+        sim = self.sim
+        if envelope.dst not in sim.nodes:
+            raise NetworkError(f"unknown destination P{envelope.dst}")
+        self._accept(envelope)
         delay = self.delay_model.sample(sim.rng, envelope.src, envelope.dst)
         deliver_at = self.channel.delivery_time(envelope.src, envelope.dst, sim.now, delay)
         priority = getattr(envelope.body, "priority", PRIORITY_NORMAL)
@@ -174,24 +189,64 @@ class Network:
             return
 
         if dst_node.crashed:
-            spooler = self._spoolers.get(envelope.dst)
-            if spooler is not None and spooler.spool(envelope, sim.is_alive):
-                self.spooled += 1
-            else:
-                self.dropped += 1
-                sim.trace.record(
-                    sim.now,
-                    T.K_DISCARD,
-                    pid=envelope.dst,
-                    msg_id=envelope.msg_id,
-                    src=envelope.src,
-                    label=envelope.label,
-                    reason="crashed",
-                )
+            self.spool_or_drop(envelope, "crashed")
             return
 
         self.delivered += 1
         dst_node.on_envelope(envelope)
+
+    def spool_or_drop(self, envelope: Envelope, reason: str) -> None:
+        """Salvage an undeliverable envelope via spoolers, else drop it.
+
+        Used for deliveries to a crashed destination and by runtime
+        transports whose peer endpoint is unreachable — in both cases the
+        paper's model says the destination's spooler hosts (if any are alive)
+        capture the message for redelivery at recovery.
+        """
+        sim = self.sim
+        spooler = self._spoolers.get(envelope.dst)
+        if spooler is not None and spooler.spool(envelope, sim.is_alive):
+            self.spooled += 1
+        else:
+            self.dropped += 1
+            sim.trace.record(
+                sim.now,
+                T.K_DISCARD,
+                pid=envelope.dst,
+                msg_id=envelope.msg_id,
+                src=envelope.src,
+                label=envelope.label,
+                reason=reason,
+            )
+
+    def deliver_local(self, envelope: Envelope) -> None:
+        """Hand an envelope that has finished transit to the destination.
+
+        Public entry point for runtime transports: once the wire (or the
+        loopback delay timer) has carried the envelope to the destination's
+        kernel, this applies the exact same partition/crash/spool policy as
+        a simulated delivery.
+        """
+        self._deliver(envelope)
+
+    def note_transport_drop(self, envelope: Envelope, reason: str) -> None:
+        """Record an envelope the transport itself had to drop.
+
+        E.g. the TCP transport cannot connect to a killed peer's socket.  The
+        paper's channel model allows arbitrary loss windows around failures;
+        we count and trace the drop so live-run analysis sees it.
+        """
+        sim = self.sim
+        self.dropped += 1
+        sim.trace.record(
+            sim.now,
+            T.K_DISCARD,
+            pid=envelope.dst,
+            msg_id=envelope.msg_id,
+            src=envelope.src,
+            label=envelope.label,
+            reason=reason,
+        )
 
     def redeliver(self, envelope: Envelope) -> None:
         """Deliver a spooled envelope to its (now recovered) destination.

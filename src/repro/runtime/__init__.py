@@ -1,0 +1,33 @@
+"""Live deployment runtime: the paper's protocols outside the simulator.
+
+The subsystem mirrors the simulator's layering:
+
+* :mod:`repro.runtime.loop` — :class:`AsyncRuntime`, the second
+  :class:`repro.kernel.KernelLike` kernel (real asyncio timers and clock);
+* :mod:`repro.runtime.transport` — in-process loopback and
+  length-prefixed-JSON TCP transports;
+* :mod:`repro.runtime.wire` — the wire codec and framing;
+* :mod:`repro.runtime.network` — the :class:`repro.net.network.Network`
+  subclass that transmits via a transport;
+* :mod:`repro.runtime.cluster` — the N-node harness with per-node stable
+  storage, per-node JSONL traces, and kill/restart;
+* ``python -m repro.runtime`` — a demo CLI that boots a cluster, injects a
+  failure, and consistency-checks the merged trace.
+"""
+
+from repro.runtime.cluster import Cluster, PidRouterSink
+from repro.runtime.loop import AsyncRuntime, AsyncScheduler, AsyncTimer
+from repro.runtime.network import RuntimeNetwork
+from repro.runtime.transport import LoopbackTransport, TcpTransport, Transport
+
+__all__ = [
+    "AsyncRuntime",
+    "AsyncScheduler",
+    "AsyncTimer",
+    "Cluster",
+    "LoopbackTransport",
+    "PidRouterSink",
+    "RuntimeNetwork",
+    "TcpTransport",
+    "Transport",
+]

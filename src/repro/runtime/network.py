@@ -1,0 +1,43 @@
+"""The live runtime's network facade: simulator policy, real transport.
+
+:class:`RuntimeNetwork` is :class:`repro.net.network.Network` with exactly
+one substitution — :meth:`transmit` hands the envelope to a
+:class:`~repro.runtime.transport.Transport` instead of scheduling a virtual
+delivery.  Everything else (partition policy, spooler registry, crash
+filtering, the normal/CONTROL counters, delivery-time bookkeeping) is the
+inherited code, byte for byte, which is what makes the simulator's message
+accounting comparable with a live run's.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import NetworkError
+from repro.net.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.channel import Channel
+    from repro.net.delay import DelayModel
+    from repro.net.message import Envelope
+    from repro.runtime.transport import Transport
+
+
+class RuntimeNetwork(Network):
+    """Network facade whose transmission medium is a real transport."""
+
+    def __init__(
+        self,
+        transport: "Transport",
+        delay_model: Optional["DelayModel"] = None,
+        channel: Optional["Channel"] = None,
+    ) -> None:
+        super().__init__(delay_model=delay_model, channel=channel)
+        self.transport = transport
+
+    def transmit(self, envelope: "Envelope") -> None:
+        """Stamp, count, and hand the envelope to the transport."""
+        if envelope.dst not in self.sim.nodes:
+            raise NetworkError(f"unknown destination P{envelope.dst}")
+        self._accept(envelope)
+        self.transport.send(envelope)

@@ -1,0 +1,327 @@
+"""Transports that physically carry envelopes for the live runtime.
+
+The :class:`~repro.runtime.network.RuntimeNetwork` stamps and counts an
+outgoing envelope exactly as the simulated network does, then hands it to a
+:class:`Transport`:
+
+* :class:`LoopbackTransport` — in-process: the envelope (optionally pushed
+  through the full JSON wire codec) is scheduled for delivery on the
+  runtime's real-timer scheduler after a delay sampled from the network's
+  :class:`~repro.net.delay.DelayModel` and ordered by its
+  :class:`~repro.net.channel.Channel` policy — the *same* objects the
+  simulator uses, so the non-FIFO contract carries over verbatim.  Fast,
+  deterministic-ish, and precise about in-flight accounting (supports
+  ``AsyncRuntime.join``).
+* :class:`TcpTransport` — every node gets its own length-prefixed-JSON TCP
+  server on localhost; sends go through per-destination client connections
+  with real serialization, framing, and socket scheduling.  On arrival the
+  receiving side *also* applies the delay-model/channel pipeline before
+  delivery, so protocol-level delays keep their configured magnitudes and
+  messages genuinely reorder (TCP is FIFO per connection; the sampled
+  post-arrival delay restores the paper's non-FIFO channel model).
+
+Both preserve the delivery-time policy enforcement of
+:meth:`repro.net.network.Network.deliver_local`: partition filtering, crash
+spooling/dropping, and the delivered/dropped/spooled counters.
+
+Unreachable peers (killed TCP endpoints) are routed through
+:meth:`~repro.net.network.Network.spool_or_drop`: if the destination has
+live spooler hosts the message is captured for redelivery at recovery —
+the paper's Section 6 salvage path — otherwise it is counted and traced as
+a drop, which the resilient protocol tolerates by design.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+from repro.errors import TransportError, WireError
+from repro.net.message import Envelope
+from repro.runtime import wire
+from repro.sim.event import PRIORITY_NORMAL
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.loop import AsyncRuntime
+    from repro.types import ProcessId
+
+
+class Transport:
+    """Base class: lifecycle, runtime binding, in-flight accounting."""
+
+    def __init__(self) -> None:
+        self._runtime: Optional["AsyncRuntime"] = None
+        self.in_flight = 0
+        self.started = False
+
+    def bind(self, runtime: "AsyncRuntime") -> None:
+        if self._runtime is not None:
+            raise TransportError("transport already bound to a runtime")
+        self._runtime = runtime
+
+    @property
+    def runtime(self) -> "AsyncRuntime":
+        if self._runtime is None:
+            raise TransportError("transport not bound to a runtime")
+        return self._runtime
+
+    async def start(self) -> None:
+        """Open endpoints; called by ``AsyncRuntime.start`` inside the loop."""
+        if self.started:
+            raise TransportError("transport already started")
+        self.started = True
+
+    async def stop(self) -> None:
+        """Tear down endpoints; further sends raise."""
+        self.started = False
+
+    def send(self, envelope: Envelope) -> None:
+        """Carry ``envelope`` to its destination (called from node callbacks)."""
+        raise NotImplementedError
+
+    def disconnect(self, pid: "ProcessId") -> None:
+        """Make ``pid``'s endpoint unreachable (cluster kill).  Sync-safe."""
+
+    async def reconnect(self, pid: "ProcessId") -> None:
+        """Restore ``pid``'s endpoint after a :meth:`disconnect` (restart)."""
+
+    def _deliver_after_delay(self, envelope: Envelope) -> None:
+        """Schedule policy-checked delivery after the modelled network delay.
+
+        Shared tail of both transports: sample the transit delay from the
+        network's delay model, order it through the channel policy, then
+        hand the envelope to ``Network.deliver_local`` at that kernel time.
+        """
+        runtime = self.runtime
+        net = runtime.network
+        delay = net.delay_model.sample(runtime.rng, envelope.src, envelope.dst)
+        deliver_at = net.channel.delivery_time(
+            envelope.src, envelope.dst, runtime.now, delay
+        )
+        self.in_flight += 1
+
+        def arrive() -> None:
+            self.in_flight -= 1
+            net.deliver_local(envelope)
+
+        runtime.scheduler.at(
+            deliver_at,
+            arrive,
+            priority=getattr(envelope.body, "priority", PRIORITY_NORMAL),
+            label=f"deliver P{envelope.src}->P{envelope.dst}",
+        )
+
+
+class LoopbackTransport(Transport):
+    """In-process transport: real timers, no sockets.
+
+    With ``codec=True`` (default) every envelope is round-tripped through
+    the JSON wire codec before delivery, so loopback tests also prove the
+    traffic is wire-serializable; ``codec=False`` skips that for raw
+    kernel-overhead benchmarks.
+    """
+
+    def __init__(self, codec: bool = True) -> None:
+        super().__init__()
+        self.codec = codec
+
+    def send(self, envelope: Envelope) -> None:
+        if not self.started:
+            raise TransportError("loopback transport is not running")
+        if self.codec:
+            envelope = wire.roundtrip(envelope)
+        self._deliver_after_delay(envelope)
+
+
+class TcpTransport(Transport):
+    """Length-prefixed JSON-over-TCP between per-node localhost servers.
+
+    Topology: every pid gets an ``asyncio`` server on ``(host, ephemeral)``;
+    the chosen port is remembered so a killed node's endpoint reopens on the
+    *same* address at restart (peers reconnect transparently).  Outbound,
+    the transport keeps one client connection per destination, fed by a
+    queue so node callbacks never block on a socket.
+
+    ``disconnect``/``reconnect`` model a node dropping off the network: the
+    server socket and its accepted connections close, cached client
+    connections die on next use, and frames that cannot reach the peer go
+    through the network's spool-or-drop salvage path.
+    """
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        super().__init__()
+        self.host = host
+        self._servers: Dict["ProcessId", asyncio.AbstractServer] = {}
+        self.ports: Dict["ProcessId", int] = {}
+        self._down: Set["ProcessId"] = set()
+        self._accepted: Dict["ProcessId", Set[asyncio.StreamWriter]] = {}
+        self._queues: Dict["ProcessId", "asyncio.Queue[Tuple[Envelope, bytes]]"] = {}
+        self._writer_tasks: Dict["ProcessId", asyncio.Task] = {}
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        await super().start()
+        for pid in self.runtime.process_ids:
+            await self._open_server(pid)
+
+    async def _open_server(self, pid: "ProcessId") -> None:
+        port = self.ports.get(pid, 0)
+
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+                         pid: "ProcessId" = pid) -> None:
+            await self._serve_connection(pid, reader, writer)
+
+        server = await asyncio.start_server(handle, host=self.host, port=port)
+        self._servers[pid] = server
+        self._accepted.setdefault(pid, set())
+        self.ports[pid] = server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        await super().stop()
+        for task in self._writer_tasks.values():
+            task.cancel()
+        for task in self._writer_tasks.values():
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._writer_tasks.clear()
+        self._queues.clear()
+        for pid in list(self._servers):
+            self._close_server(pid)
+
+    def _close_server(self, pid: "ProcessId") -> None:
+        server = self._servers.pop(pid, None)
+        if server is not None:
+            server.close()
+        for writer in self._accepted.pop(pid, set()):
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - already-broken socket
+                pass
+        self._accepted[pid] = set()
+
+    # ------------------------------------------------------------------
+    # Kill / restart
+    # ------------------------------------------------------------------
+    def disconnect(self, pid: "ProcessId") -> None:
+        """Close ``pid``'s server and connections; its port is remembered."""
+        self._down.add(pid)
+        self._close_server(pid)
+        # Sever the cached outbound connection *to* the dead peer so queued
+        # frames fail fast instead of into a half-open socket.
+        task = self._writer_tasks.pop(pid, None)
+        if task is not None:
+            task.cancel()
+
+    async def reconnect(self, pid: "ProcessId") -> None:
+        """Reopen ``pid``'s server on its original port."""
+        if pid not in self._down:
+            raise TransportError(f"P{pid} is not disconnected")
+        self._down.discard(pid)
+        await self._open_server(pid)
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send(self, envelope: Envelope) -> None:
+        if not self.started:
+            raise TransportError("tcp transport is not running")
+        frame = wire.dumps_frame(envelope)
+        if envelope.dst in self._down:
+            self.runtime.network.spool_or_drop(envelope, "unreachable")
+            return
+        queue = self._queues.get(envelope.dst)
+        if queue is None:
+            queue = self._queues[envelope.dst] = asyncio.Queue()
+        queue.put_nowait((envelope, frame))
+        task = self._writer_tasks.get(envelope.dst)
+        if task is None or task.done():
+            self._writer_tasks[envelope.dst] = asyncio.get_running_loop().create_task(
+                self._drain(envelope.dst, queue)
+            )
+
+    async def _drain(self, dst: "ProcessId",
+                     queue: "asyncio.Queue[Tuple[Envelope, bytes]]") -> None:
+        """Outbound pump for one destination: connect, write frames, salvage."""
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            while True:
+                envelope, frame = await queue.get()
+                if dst in self._down:
+                    self.runtime.network.spool_or_drop(envelope, "unreachable")
+                    continue
+                writer = await self._write_with_retry(dst, writer, envelope, frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surface via runtime.check()
+            self.runtime.scheduler._note_error(f"tcp drain ->P{dst}", exc)
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def _write_with_retry(
+        self,
+        dst: "ProcessId",
+        writer: Optional[asyncio.StreamWriter],
+        envelope: Envelope,
+        frame: bytes,
+    ) -> Optional[asyncio.StreamWriter]:
+        """Write one frame, reconnecting once on a stale cached connection."""
+        for attempt in (0, 1):
+            if writer is None:
+                try:
+                    _, writer = await asyncio.open_connection(self.host, self.ports[dst])
+                except OSError:
+                    break
+            try:
+                writer.write(frame)
+                await writer.drain()
+                self.frames_sent += 1
+                return writer
+            except (ConnectionError, OSError):
+                try:
+                    writer.close()
+                except Exception:  # noqa: BLE001
+                    pass
+                writer = None
+        self.runtime.network.spool_or_drop(envelope, "unreachable")
+        return None
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self,
+        pid: "ProcessId",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        peers = self._accepted.setdefault(pid, set())
+        peers.add(writer)
+        try:
+            while True:
+                try:
+                    blob = await wire.read_frame(reader)
+                except WireError:
+                    break  # peer died mid-frame: a tolerated connection loss
+                if blob is None:
+                    break
+                envelope = wire.loads_frame(blob)
+                self.frames_received += 1
+                # The socket hop is real but near-instant on localhost; the
+                # delay-model pipeline restores protocol-scale transit times
+                # and the non-FIFO ordering contract.
+                self._deliver_after_delay(envelope)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            peers.discard(writer)
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass

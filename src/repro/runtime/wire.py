@@ -1,0 +1,156 @@
+"""JSON wire codec and framing for the live runtime's TCP transport.
+
+One frame = one envelope.  Framing is the classic length-prefix: a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON.  The
+JSON payload reuses the trace pipeline's lossless field codec
+(:func:`repro.sim.trace.encode_field`), so :class:`~repro.types.TreeId`,
+:class:`~repro.types.MessageId`, tuples and nested containers round-trip
+exactly — the decoded envelope compares equal to the sent one.
+
+Bodies are serialized by *kind*: every control dataclass in
+:data:`repro.core.messages.CONTROL_KINDS` registers under its ``kind``
+class attribute, and :class:`~repro.core.messages.NormalBody` under
+``"normal"``.  Unknown kinds raise :class:`~repro.errors.WireError` on both
+ends — a version-skewed peer fails loudly rather than corrupting protocol
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import struct
+from typing import Any, Dict, Optional, Type
+
+from repro.core.messages import CONTROL_KINDS, NormalBody
+from repro.errors import WireError
+from repro.net.message import Envelope
+from repro.sim.trace import decode_field, encode_field
+
+_HEADER = struct.Struct(">I")
+HEADER_SIZE = _HEADER.size
+MAX_FRAME = 16 * 1024 * 1024  # sanity bound; a control message is ~100 bytes
+
+NORMAL_KIND = "normal"
+
+BODY_REGISTRY: Dict[str, Type[Any]] = {cls.kind: cls for cls in CONTROL_KINDS}
+BODY_REGISTRY[NORMAL_KIND] = NormalBody
+
+
+# ----------------------------------------------------------------------
+# Body / envelope codec
+# ----------------------------------------------------------------------
+
+def encode_body(body: Any) -> Dict[str, Any]:
+    """Encode a protocol body (control dataclass or NormalBody) to JSON."""
+    kind = NORMAL_KIND if isinstance(body, NormalBody) else getattr(body, "kind", None)
+    cls = BODY_REGISTRY.get(kind)
+    if cls is None or not isinstance(body, cls):
+        raise WireError(f"unregistered body type {type(body).__name__!r}")
+    fields = {
+        f.name: encode_field(getattr(body, f.name)) for f in dataclasses.fields(body)
+    }
+    return {"kind": kind, "fields": fields}
+
+
+def decode_body(payload: Dict[str, Any]) -> Any:
+    """Inverse of :func:`encode_body`."""
+    kind = payload.get("kind")
+    cls = BODY_REGISTRY.get(kind)
+    if cls is None:
+        raise WireError(f"unknown wire body kind {kind!r}")
+    fields = {key: decode_field(value) for key, value in payload["fields"].items()}
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise WireError(f"malformed {kind!r} body: {exc}") from exc
+
+
+def encode_envelope(envelope: Envelope) -> Dict[str, Any]:
+    """One JSON document for an envelope (lossless for protocol traffic).
+
+    ``deliver_time`` is deliberately not carried: the receiving kernel
+    stamps it at delivery, exactly as the simulated network does.
+    """
+    if envelope.body is None:
+        body = None
+    else:
+        body = encode_body(envelope.body)
+    return {
+        "src": envelope.src,
+        "dst": envelope.dst,
+        "category": envelope.category,
+        "body": body,
+        "msg_id": encode_field(envelope.msg_id),
+        "label": envelope.label,
+        "send_time": envelope.send_time,
+    }
+
+
+def decode_envelope(payload: Dict[str, Any]) -> Envelope:
+    """Inverse of :func:`encode_envelope`."""
+    try:
+        return Envelope(
+            src=payload["src"],
+            dst=payload["dst"],
+            category=payload["category"],
+            body=decode_body(payload["body"]) if payload["body"] is not None else None,
+            msg_id=decode_field(payload["msg_id"]),
+            label=payload["label"],
+            send_time=payload["send_time"],
+        )
+    except KeyError as exc:
+        raise WireError(f"wire envelope missing field {exc}") from exc
+
+
+def roundtrip(envelope: Envelope) -> Envelope:
+    """Serialize + deserialize an envelope through the full JSON codec.
+
+    The loopback transport runs every message through this by default, so
+    even socket-free tests prove the traffic is wire-serializable.
+    """
+    return decode_envelope(json.loads(json.dumps(encode_envelope(envelope))))
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def dumps_frame(envelope: Envelope) -> bytes:
+    """Encode an envelope into one length-prefixed wire frame."""
+    blob = json.dumps(encode_envelope(envelope), separators=(",", ":")).encode()
+    if len(blob) > MAX_FRAME:
+        raise WireError(f"frame of {len(blob)} bytes exceeds MAX_FRAME={MAX_FRAME}")
+    return _HEADER.pack(len(blob)) + blob
+
+
+def loads_frame(blob: bytes) -> Envelope:
+    """Decode a frame *payload* (header already stripped) to an envelope."""
+    try:
+        payload = json.loads(blob.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable wire frame: {exc}") from exc
+    return decode_envelope(payload)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one frame payload off ``reader``; None on clean EOF.
+
+    A connection closed mid-frame raises :class:`~repro.errors.WireError`
+    (the peer died between header and payload — the caller decides whether
+    that is a tolerated crash or a bug).
+    """
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise WireError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise WireError(f"incoming frame of {length} bytes exceeds MAX_FRAME={MAX_FRAME}")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireError("connection closed mid-frame") from exc

@@ -1,9 +1,11 @@
-"""Base class for simulated processes (actors).
+"""Base class for protocol processes (actors).
 
-A :class:`Node` is a reactive object owned by a :class:`repro.sim.simulation.
-Simulation`.  The kernel is single-threaded: at most one callback of one node
-runs at a time, which gives us the paper's "the execution of any procedure is
-exclusive" for free.
+A :class:`Node` is a reactive object owned by a kernel — either the
+discrete-event :class:`repro.sim.simulation.Simulation` or the live
+:class:`repro.runtime.loop.AsyncRuntime` (both implement
+:class:`repro.kernel.KernelLike`).  Either way at most one callback of one
+node runs at a time, which gives us the paper's "the execution of any
+procedure is exclusive" for free.
 
 Nodes interact with the world only through the hooks here:
 
@@ -22,42 +24,46 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.errors import SimulationError
-from repro.sim.event import PRIORITY_TIMER, Event
+from repro.sim.event import PRIORITY_TIMER
 from repro.types import ProcessId, SimTime
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.kernel import KernelLike, TimerHandle
     from repro.net.message import Envelope
-    from repro.sim.simulation import Simulation
 
 
 class Node:
-    """A simulated process; subclass and override the ``on_*`` hooks."""
+    """A protocol process; subclass and override the ``on_*`` hooks."""
 
     def __init__(self, node_id: ProcessId):
         self.node_id = node_id
         self.crashed = False
-        self._sim: Optional["Simulation"] = None
-        self._timers: Dict[str, Event] = {}
+        self._sim: Optional["KernelLike"] = None
+        self._timers: Dict[str, "TimerHandle"] = {}
 
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
-    def bind(self, sim: "Simulation") -> None:
-        """Attach this node to a simulation.  Called by ``Simulation.add_node``."""
+    def bind(self, sim: "KernelLike") -> None:
+        """Attach this node to a kernel.  Called by ``KernelCore.add_node``."""
         if self._sim is not None:
             raise SimulationError(f"node {self.node_id} already bound")
         self._sim = sim
 
     @property
-    def sim(self) -> "Simulation":
-        """The owning simulation (raises if the node is unbound)."""
+    def sim(self) -> "KernelLike":
+        """The owning kernel (raises if the node is unbound).
+
+        Named ``sim`` for historical reasons; under the live runtime this is
+        an :class:`repro.runtime.loop.AsyncRuntime`.
+        """
         if self._sim is None:
-            raise SimulationError(f"node {self.node_id} is not bound to a simulation")
+            raise SimulationError(f"node {self.node_id} is not bound to a kernel")
         return self._sim
 
     @property
     def now(self) -> SimTime:
-        """Current simulation time."""
+        """Current kernel time."""
         return self.sim.now
 
     # ------------------------------------------------------------------

@@ -12,39 +12,46 @@ Crash/recovery is driven through :meth:`crash` and :meth:`recover` (usually
 via :class:`repro.failure.injector.FailureInjector`); the simulation notifies
 the registered failure detector, which in turn notifies surviving nodes after
 its detection latency.
+
+``Simulation`` is one of two kernels implementing the
+:class:`repro.kernel.KernelLike` contract — the other is the live
+:class:`repro.runtime.loop.AsyncRuntime`.  The topology, liveness and
+crash/recovery mechanics live in the shared :class:`repro.kernel.KernelCore`
+base; this class adds only what is simulation-specific: virtual time and the
+deterministic discrete-event loop.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import SimulationError
+from repro.kernel import KernelCore
 from repro.net.network import Network
-from repro.sim import trace as T
-from repro.sim.node import Node
 from repro.sim.rng import Rng
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import Trace
-from repro.types import IdAllocator, ProcessId, SimTime
+from repro.types import SimTime
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.failure.detector import FailureDetector
+    from repro.net.channel import Channel
     from repro.net.delay import DelayModel
     from repro.sim.trace import TraceSink
 
 
-class Simulation:
+class Simulation(KernelCore):
     """One self-contained simulated distributed system."""
 
     def __init__(
         self,
         seed: int = 0,
         delay_model: Optional["DelayModel"] = None,
-        channel: Optional[object] = None,
+        channel: Optional["Channel"] = None,
         network: Optional[Network] = None,
         sinks: Optional[List["TraceSink"]] = None,
         trace: Optional[Trace] = None,
     ):
+        super().__init__()
         self.rng = Rng(seed)
         self.scheduler = Scheduler()
         if trace is not None and sinks is not None:
@@ -52,36 +59,7 @@ class Simulation:
         self.trace = trace if trace is not None else Trace(sinks=sinks)
         self.network = network or Network(delay_model=delay_model, channel=channel)
         self.network.bind(self)
-        self.nodes: Dict[ProcessId, Node] = {}
-        self.ids = IdAllocator()
-        self.failure_detector: Optional["FailureDetector"] = None
         self._started = False
-
-    # ------------------------------------------------------------------
-    # Topology
-    # ------------------------------------------------------------------
-    def add_node(self, node: Node) -> Node:
-        """Register ``node``; ids must be unique."""
-        if node.node_id in self.nodes:
-            raise SimulationError(f"duplicate node id {node.node_id}")
-        node.bind(self)
-        self.nodes[node.node_id] = node
-        return node
-
-    def node(self, pid: ProcessId) -> Node:
-        return self.nodes[pid]
-
-    @property
-    def process_ids(self) -> List[ProcessId]:
-        return sorted(self.nodes)
-
-    def is_alive(self, pid: ProcessId) -> bool:
-        """True if ``pid`` exists and is not crashed."""
-        node = self.nodes.get(pid)
-        return node is not None and not node.crashed
-
-    def alive_processes(self) -> List[ProcessId]:
-        return [pid for pid in self.process_ids if self.is_alive(pid)]
 
     # ------------------------------------------------------------------
     # Time
@@ -97,29 +75,3 @@ class Simulation:
             for pid in self.process_ids:
                 self.nodes[pid].on_start()
         return self.scheduler.run(until=until, max_events=max_events)
-
-    # ------------------------------------------------------------------
-    # Failures
-    # ------------------------------------------------------------------
-    def crash(self, pid: ProcessId) -> None:
-        """Crash ``pid``: clean fail-stop, volatile state and timers lost."""
-        node = self.nodes[pid]
-        if node.crashed:
-            raise SimulationError(f"P{pid} is already crashed")
-        node.crashed = True
-        node.cancel_all_timers()
-        self.trace.record(self.now, T.K_CRASH, pid=pid)
-        node.on_crash()
-        if self.failure_detector is not None:
-            self.failure_detector.report_crash(pid)
-
-    def recover(self, pid: ProcessId, stable_state: object = None) -> None:
-        """Restart ``pid`` from its stable storage."""
-        node = self.nodes[pid]
-        if not node.crashed:
-            raise SimulationError(f"P{pid} is not crashed")
-        node.crashed = False
-        self.trace.record(self.now, T.K_RECOVER, pid=pid)
-        node.on_recover(stable_state)
-        if self.failure_detector is not None:
-            self.failure_detector.report_recovery(pid)

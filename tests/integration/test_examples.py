@@ -12,6 +12,7 @@ EXAMPLES = [
     "resilient_cluster.py",
     "algorithm_comparison.py",
     "paper_figures.py",
+    "live_cluster.py",
 ]
 
 ROOT = os.path.join(os.path.dirname(__file__), "..", "..")

@@ -1,0 +1,202 @@
+"""Transport semantics: loopback and TCP carry the same traffic contract."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.delay import FixedDelay, UniformDelay
+from repro.net.message import normal
+from repro.runtime import AsyncRuntime, LoopbackTransport, TcpTransport
+from repro.sim.node import Node
+from repro.types import MessageId
+
+
+def run(coro, timeout=60.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class Sink(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def on_envelope(self, envelope):
+        self.received.append(envelope)
+
+
+def build(transport, n=2, delay=None, seed=0):
+    runtime = AsyncRuntime(
+        seed=seed, transport=transport, delay_model=delay or FixedDelay(0.5),
+        time_scale=0.01,
+    )
+    nodes = {i: runtime.add_node(Sink(i)) for i in range(n)}
+    return runtime, nodes
+
+
+def envelope(src, dst, idx, label=1):
+    return normal(src, dst, MessageId(src, idx), label=label, body=None)
+
+
+# ----------------------------------------------------------------------
+# Loopback
+# ----------------------------------------------------------------------
+
+def test_loopback_delivers_and_counts():
+    runtime, nodes = build(LoopbackTransport())
+
+    async def scenario():
+        await runtime.start()
+        nodes[0].send(envelope(0, 1, 0))
+        nodes[0].send(envelope(0, 1, 1))
+        await runtime.join(timeout=30.0)
+        await runtime.shutdown()
+
+    run(scenario())
+    assert [e.msg_id.send_index for e in nodes[1].received] == [0, 1]
+    assert runtime.network.normal_sent == 2
+    assert runtime.network.delivered == 2
+    assert runtime.transport.in_flight == 0
+    # The network stamped transit times on the way through.
+    assert all(e.deliver_time >= e.send_time for e in nodes[1].received)
+
+
+def test_loopback_send_before_start_rejected():
+    runtime, nodes = build(LoopbackTransport())
+    with pytest.raises(TransportError):
+        nodes[0].send(envelope(0, 1, 0))
+
+
+def test_loopback_delivery_respects_crash_policy():
+    runtime, nodes = build(LoopbackTransport())
+
+    async def scenario():
+        await runtime.start()
+        runtime.crash(1)
+        nodes[0].send(envelope(0, 1, 0))
+        await runtime.join(timeout=30.0)
+        await runtime.shutdown()
+
+    run(scenario())
+    assert nodes[1].received == []
+    assert runtime.network.dropped == 1
+    kinds = [e.kind for e in runtime.trace.events]
+    assert "discard" in kinds
+
+
+def test_loopback_codec_roundtrips_bodies():
+    # codec=True (default) pushes every envelope through the JSON wire
+    # codec; a non-serializable body must fail loudly at send time.
+    from repro.errors import WireError
+
+    runtime, nodes = build(LoopbackTransport())
+
+    class Opaque:
+        pass
+
+    async def scenario():
+        await runtime.start()
+        bad = envelope(0, 1, 0)
+        bad.body = Opaque()
+        with pytest.raises(WireError):
+            nodes[0].send(bad)
+        await runtime.shutdown()
+
+    run(scenario())
+
+
+def test_loopback_nonfifo_reordering_happens():
+    # With a wide uniform delay and many messages, at least one pair must
+    # arrive out of send order (the paper's non-FIFO channel model).  The
+    # seed makes the delay draws deterministic.
+    runtime, nodes = build(LoopbackTransport(), delay=UniformDelay(0.1, 3.0), seed=7)
+
+    async def scenario():
+        await runtime.start()
+        for i in range(20):
+            nodes[0].send(envelope(0, 1, i))
+        await runtime.join(timeout=60.0)
+        await runtime.shutdown()
+
+    run(scenario())
+    order = [e.msg_id.send_index for e in nodes[1].received]
+    assert sorted(order) == list(range(20))
+    assert order != sorted(order)
+
+
+# ----------------------------------------------------------------------
+# TCP
+# ----------------------------------------------------------------------
+
+def test_tcp_delivers_over_real_sockets():
+    transport = TcpTransport()
+    runtime, nodes = build(transport, n=3)
+
+    async def scenario():
+        await runtime.start()
+        assert len(transport.ports) == 3
+        assert len(set(transport.ports.values())) == 3
+        nodes[0].send(envelope(0, 1, 0))
+        nodes[2].send(envelope(2, 1, 0))
+        nodes[1].send(envelope(1, 0, 0))
+        await runtime.wait_until(
+            lambda: runtime.network.delivered == 3, timeout=60.0, what="3 deliveries"
+        )
+        await runtime.shutdown()
+
+    run(scenario())
+    assert transport.frames_sent == 3
+    assert transport.frames_received == 3
+    assert {e.msg_id.sender for e in nodes[1].received} == {0, 2}
+    assert len(nodes[0].received) == 1
+
+
+def test_tcp_disconnect_drops_then_reconnect_delivers():
+    transport = TcpTransport()
+    runtime, nodes = build(transport, n=2)
+
+    async def scenario():
+        await runtime.start()
+        port_before = transport.ports[1]
+
+        runtime.crash(1)
+        transport.disconnect(1)
+        nodes[0].send(envelope(0, 1, 0))
+        await runtime.wait_until(
+            lambda: runtime.network.dropped == 1, timeout=60.0, what="the drop"
+        )
+
+        await transport.reconnect(1)
+        runtime.recover(1)
+        assert transport.ports[1] == port_before  # endpoint identity survives
+
+        nodes[0].send(envelope(0, 1, 1))
+        await runtime.wait_until(
+            lambda: len(nodes[1].received) == 1, timeout=60.0, what="redelivery"
+        )
+        await runtime.shutdown()
+
+    run(scenario())
+    assert [e.msg_id.send_index for e in nodes[1].received] == [1]
+
+
+def test_tcp_unreachable_peer_goes_to_spoolers():
+    transport = TcpTransport()
+    runtime, nodes = build(transport, n=3)
+    runtime.network.install_spoolers(1, [0, 2])
+
+    async def scenario():
+        await runtime.start()
+        runtime.crash(1)
+        transport.disconnect(1)
+        nodes[0].send(envelope(0, 1, 0))
+        await runtime.wait_until(
+            lambda: runtime.network.spooled == 1, timeout=60.0, what="the spool"
+        )
+        await runtime.shutdown()
+
+    run(scenario())
+    group = runtime.network.spooler_for(1)
+    salvaged = group.drain(runtime.is_alive)
+    assert [e.msg_id.send_index for e in salvaged] == [0]
+    assert runtime.network.dropped == 0

@@ -1,0 +1,139 @@
+"""Wire codec: every protocol body round-trips losslessly; frames are sane."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.core import messages as M
+from repro.errors import WireError
+from repro.net.message import control, normal
+from repro.runtime import wire
+from repro.types import MessageId, TreeId
+
+T1 = TreeId(2, 5)
+T2 = TreeId(0, 1)
+
+BODIES = [
+    M.NormalBody(payload="hello", markers=(T1, T2), marker_seq=3, incarnation=1),
+    M.NormalBody(),
+    M.ChkptReq(tree=T1, max_label=7),
+    M.ChkptAck(tree=T1, positive=True),
+    M.ChkptAck(tree=T1, positive=False, undone_notice=(T2, 3, 5)),
+    M.ReadyToCommit(tree=T1),
+    M.Commit(tree=T1),
+    M.Abort(tree=T1),
+    M.RollReq(tree=T2, undo_seq=2, undone_upto=4),
+    M.RollAck(tree=T2, positive=False),
+    M.RollComplete(tree=T2),
+    M.Restart(tree=T2),
+    M.DecisionInquiry(tree=T1, decision_kind="checkpoint"),
+    M.DecisionReply(tree=T1, decision_kind="rollback", decision="restart"),
+    M.DecisionReply(tree=T1, decision_kind="checkpoint", decision=None),
+]
+
+
+@pytest.mark.parametrize("body", BODIES, ids=lambda b: type(b).__name__)
+def test_body_roundtrip(body):
+    decoded = wire.decode_body(json.loads(json.dumps(wire.encode_body(body))))
+    assert decoded == body
+    assert type(decoded) is type(body)
+
+
+def test_every_control_kind_is_registered():
+    for cls in M.CONTROL_KINDS:
+        assert wire.BODY_REGISTRY[cls.kind] is cls
+    assert wire.BODY_REGISTRY[wire.NORMAL_KIND] is M.NormalBody
+
+
+def test_envelope_roundtrip_normal():
+    env = normal(0, 1, MessageId(0, 4), label=3, body=M.NormalBody(payload={"k": [1, 2]}))
+    env.send_time = 12.5
+    back = wire.roundtrip(env)
+    assert back.src == 0 and back.dst == 1
+    assert back.category == env.category
+    assert back.msg_id == MessageId(0, 4)
+    assert back.label == 3
+    assert back.send_time == 12.5
+    assert back.body == env.body
+
+
+def test_envelope_roundtrip_control():
+    env = control(2, 3, M.ChkptReq(tree=T1, max_label=9))
+    back = wire.roundtrip(env)
+    assert back.body == env.body
+    assert back.msg_id is None and back.label is None
+
+
+def test_unregistered_body_raises():
+    class Rogue:
+        kind = "rogue"
+
+    with pytest.raises(WireError):
+        wire.encode_body(Rogue())
+    with pytest.raises(WireError):
+        wire.decode_body({"kind": "rogue", "fields": {}})
+
+
+def test_malformed_body_fields_raise():
+    with pytest.raises(WireError):
+        wire.decode_body({"kind": "commit", "fields": {"not_a_field": 1}})
+
+
+def test_frame_layout_and_roundtrip():
+    env = control(0, 1, M.Commit(tree=T1))
+    frame = wire.dumps_frame(env)
+    (length,) = struct.unpack(">I", frame[: wire.HEADER_SIZE])
+    assert length == len(frame) - wire.HEADER_SIZE
+    assert wire.loads_frame(frame[wire.HEADER_SIZE:]).body == env.body
+
+
+def test_oversized_incoming_frame_rejected():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack(">I", wire.MAX_FRAME + 1))
+        with pytest.raises(WireError, match="exceeds"):
+            await wire.read_frame(reader)
+
+    asyncio.run(asyncio.wait_for(scenario(), 10))
+
+
+def test_read_frame_clean_eof_and_truncation():
+    async def scenario():
+        # Clean EOF between frames -> None.
+        reader = asyncio.StreamReader()
+        reader.feed_eof()
+        assert await wire.read_frame(reader) is None
+
+        # EOF mid-header -> error.
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"\x00\x00")
+        reader.feed_eof()
+        with pytest.raises(WireError, match="mid-header"):
+            await wire.read_frame(reader)
+
+        # EOF mid-frame -> error.
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack(">I", 10) + b"abc")
+        reader.feed_eof()
+        with pytest.raises(WireError, match="mid-frame"):
+            await wire.read_frame(reader)
+
+    asyncio.run(asyncio.wait_for(scenario(), 10))
+
+
+def test_read_frame_reassembles_split_frames():
+    env = control(1, 0, M.Abort(tree=T2))
+    frame = wire.dumps_frame(env)
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        task = asyncio.get_running_loop().create_task(wire.read_frame(reader))
+        for i in range(len(frame)):  # dribble one byte at a time
+            reader.feed_data(frame[i : i + 1])
+            await asyncio.sleep(0)
+        blob = await task
+        assert wire.loads_frame(blob).body == env.body
+
+    asyncio.run(asyncio.wait_for(scenario(), 10))
