@@ -7,26 +7,77 @@ embarrassingly parallel.  This module fans the work out over a
 
 * **Processes, not threads** — experiments are pure-Python CPU work, so
   threads would serialise on the GIL.
+* **Honest worker counts** — requested workers are capped by
+  :func:`effective_workers` at the number of points *and* the number of
+  visible CPUs: fanning 2 processes out on a 1-core container is strictly
+  slower than the serial loop (process spawn + pickling with zero extra
+  compute), which is exactly the ``speedup: 0.75`` regression an early
+  BENCH_PERF.json recorded.  When the cap resolves to one worker the sweep
+  short-circuits to a plain in-process loop.
+* **One pool, chunked work** — the executor is created once and reused
+  across sweeps and registry entries (worker start-up is the dominant fixed
+  cost), and sweep points are submitted as one contiguous chunk per worker
+  instead of one task per point, so a point costs one pickle round-trip per
+  *chunk* rather than per point.
 * **Deterministic seeding** — workers never draw fresh entropy.  Every
   sweep point derives its seed from the sweep's base seed and the point's
   *index* via :func:`point_seed` (a stable blake2 derivation), so results
   are identical whether a point runs in the parent, in worker 1, or in
   worker 7 — and identical run-to-run for any worker count.
-* **Order-stable merging** — results are collected with ``executor.map``,
-  which yields in submission order regardless of completion order.  The
-  merged artifact (tables, ``--json`` output) is byte-identical to a
-  serial run.
-
-Workers are spawned lazily and only when ``workers > 1``; ``workers=1``
-degrades to a plain in-process loop, which keeps single-core environments
-and debugging sessions (breakpoints, tracebacks) simple.
+* **Order-stable merging** — chunks are contiguous slices collected with
+  ``executor.map`` (submission order), so concatenating their rows
+  reproduces the serial order exactly.  The merged artifact (tables,
+  ``--json`` output) is byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _visible_cpus() -> int:
+    """CPUs the scheduler will actually give us (monkeypatchable in tests)."""
+    return os.cpu_count() or 1
+
+
+def effective_workers(workers: int, points: int) -> int:
+    """Worker processes that can actually help for ``points`` work items.
+
+    Capped at the point count (idle workers cost start-up for nothing) and
+    at the visible CPU count (pure-CPU work cannot go faster than the
+    cores it runs on — oversubscription only adds pickling overhead).
+    """
+    return max(1, min(workers, points, _visible_cpus()))
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor, grown (never shrunk) to ``workers`` processes.
+
+    Reused across sweeps and registry entries so each benchmark pays worker
+    start-up once per process lifetime, not once per measurement.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS < workers:
+        if _POOL is not None:
+            _POOL.shutdown()
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared executor (tests; harmless if never started)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+        _POOL_WORKERS = 0
 
 
 def point_seed(base_seed: int, index: int) -> int:
@@ -62,10 +113,18 @@ def run_registry_parallel(
     completion order), so callers print and serialise the same artifact a
     serial run produces.
     """
-    if workers <= 1 or len(names) <= 1:
+    workers = effective_workers(workers, len(names))
+    if workers <= 1:
         return [_run_named(name) for name in names]
-    with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
-        return list(pool.map(_run_named, names))
+    return list(get_pool(workers).map(_run_named, names))
+
+
+def _run_chunk(
+    packed: Tuple[Callable[..., Dict[str, Any]], List[Tuple[Any, ...]]],
+) -> List[Dict[str, Any]]:
+    """Worker entry point: run one contiguous chunk of sweep points."""
+    worker, chunk = packed
+    return [worker(*args) for args in chunk]
 
 
 def run_sweep(
@@ -87,12 +146,12 @@ def run_sweep(
         ]
     else:
         args = [(point,) for point in points]
-    if workers <= 1 or len(points) <= 1:
+    workers = effective_workers(workers, len(args))
+    if workers <= 1:
         return [worker(*a) for a in args]
-    with ProcessPoolExecutor(max_workers=min(workers, len(points))) as pool:
-        return list(pool.map(_call_star, [(worker, a) for a in args]))
-
-
-def _call_star(packed: Tuple[Callable[..., Any], Tuple[Any, ...]]) -> Any:
-    worker, args = packed
-    return worker(*args)
+    size = -(-len(args) // workers)  # ceil: one contiguous chunk per worker
+    chunks = [args[i : i + size] for i in range(0, len(args), size)]
+    rows: List[Dict[str, Any]] = []
+    for chunk_rows in get_pool(workers).map(_run_chunk, [(worker, c) for c in chunks]):
+        rows.extend(chunk_rows)
+    return rows

@@ -1,0 +1,265 @@
+"""E-SCALE — wire-protocol and trace hot-path throughput at burst scale.
+
+The hot-path scaling pass (binary wire codec, batched TCP drain, buffered
+trace sinks) is only worth its complexity if the numbers say so.  This
+experiment measures the before/after at burst sizes n ∈ {64, 256, 512,
+1024}, four layers deep:
+
+1. **codec** — pure encode+decode round-trips per second for the JSON v1
+   vs. binary v2 payload formats, and the framed bytes each spends per
+   envelope.  No sockets, no kernel: the codec cost in isolation.
+2. **sim** — the discrete-event kernel draining an n-message burst:
+   scheduler events/sec and envelopes/sec with the null sink, and
+   events/sec again with the buffered JSONL stream sink (the emit overhead
+   a traced run actually pays).
+3. **loopback** — the live kernel's in-process transport pumping the same
+   burst with the codec off (``raw``), JSON, and binary.  Isolates codec
+   cost inside the full delivery pipeline (real timers, delay model,
+   channel policy, policy-checked delivery).
+4. **tcp** — real sockets, all four corners of the before/after matrix:
+   {JSON, binary} × {per-frame drain (``max_batch=1``), batched drain}.
+   The ``speedup`` column is the PR's headline claim: binary+batched over
+   JSON+per-frame.
+
+Methodology: every pump timestamps the *last delivery inside the receiving
+node* (polling for completion would add up to one poll interval of slack —
+at these rates that is tens of percent).  Each configuration runs one
+warm-up burst, then ``reps`` measured bursts, and reports the median.
+
+``ESCALE_QUICK=1`` shrinks the sweep to n=64 with fewer reps — the CI
+smoke-test shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import statistics
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.net.delay import FixedDelay
+from repro.net.message import Envelope, normal
+from repro.runtime import wire
+from repro.runtime.loop import AsyncRuntime
+from repro.runtime.transport import LoopbackTransport, TcpTransport, Transport
+from repro.sim.node import Node
+from repro.sim.simulation import Simulation
+from repro.sim.trace import JsonlStreamSink, NullSink, TraceSink
+from repro.types import MessageId
+
+SIZES: Sequence[int] = (64, 256, 512, 1024)
+REPS = 5
+QUICK_SIZES: Sequence[int] = (64,)
+QUICK_REPS = 3
+TIME_SCALE = 0.005  # protocol-unit second := 5ms real; bursts finish fast
+
+
+def quick_mode() -> bool:
+    """True when the reduced CI sweep was requested via ``ESCALE_QUICK``."""
+    return os.environ.get("ESCALE_QUICK", "") not in ("", "0")
+
+
+def _burst(n: int) -> List[Envelope]:
+    """The standard workload: n light normal envelopes P0 -> P1."""
+    return [normal(0, 1, MessageId(0, i), label=1, body=None) for i in range(n)]
+
+
+class _Collector(Node):
+    """Receiver that timestamps its ``expect``-th delivery (no poll slack)."""
+
+    def __init__(self, pid: int, expect: int) -> None:
+        super().__init__(pid)
+        self.expect = expect
+        self.got = 0
+        self.done_at: Optional[float] = None
+
+    def on_envelope(self, envelope: Envelope) -> None:
+        self.got += 1
+        if self.got == self.expect:
+            self.done_at = time.perf_counter()
+
+
+def _pump_live(n: int, transport: Transport) -> float:
+    """Envelopes/sec for one n-burst through a live transport."""
+    runtime = AsyncRuntime(
+        seed=0,
+        transport=transport,
+        delay_model=FixedDelay(0.0),
+        sinks=[NullSink()],
+        time_scale=TIME_SCALE,
+    )
+    sender = runtime.add_node(_Collector(0, 0))
+    receiver = runtime.add_node(_Collector(1, n))
+
+    async def scenario() -> float:
+        await runtime.start()
+        start = time.perf_counter()
+        for envelope in _burst(n):
+            sender.send(envelope)
+        await runtime.wait_until(
+            lambda: receiver.done_at is not None, timeout=2000.0, what="burst drain"
+        )
+        assert receiver.done_at is not None
+        wall = receiver.done_at - start
+        await runtime.shutdown()
+        return n / wall
+
+    return asyncio.run(scenario())
+
+
+def _median_rate(reps: int, run: Callable[[], float]) -> float:
+    """Median envelopes/sec over ``reps`` runs, after one warm-up run."""
+    run()
+    return statistics.median(run() for _ in range(reps))
+
+
+# ----------------------------------------------------------------------
+# Layer 1: the codec in isolation
+# ----------------------------------------------------------------------
+def codec_row(n: int, reps: int) -> Dict[str, Any]:
+    """Round-trips/sec and framed bytes for JSON v1 vs binary v2."""
+    burst = _burst(n)
+    for envelope in burst:  # realistic: stamped as the network would
+        envelope.send_time = 1.0
+
+    def roundtrips(version: int) -> Callable[[], float]:
+        def run() -> float:
+            start = time.perf_counter()
+            for envelope in burst:
+                wire.roundtrip(envelope, version=version)
+            return n / (time.perf_counter() - start)
+
+        return run
+
+    json_rate = _median_rate(reps, roundtrips(wire.WIRE_V1))
+    binary_rate = _median_rate(reps, roundtrips(wire.WIRE_V2))
+    sample = burst[0]
+    return {
+        "metric": "codec",
+        "n": n,
+        "json_env_s": round(json_rate),
+        "binary_env_s": round(binary_rate),
+        "json_bytes_frame": len(wire.dumps_frame(sample, version=wire.WIRE_V1)),
+        "binary_bytes_frame": len(wire.dumps_frame(sample, version=wire.WIRE_V2)),
+        "speedup": round(binary_rate / json_rate, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# Layer 2: the discrete-event kernel
+# ----------------------------------------------------------------------
+def _pump_sim(n: int, sinks: List[TraceSink]) -> Dict[str, float]:
+    """Wall-clock for the simulator draining an n-burst."""
+    sim = Simulation(seed=0, delay_model=FixedDelay(0.1), sinks=sinks)
+    sender = sim.add_node(_Collector(0, 0))
+    sim.add_node(_Collector(1, n))
+    start = time.perf_counter()
+    for envelope in _burst(n):
+        sender.send(envelope)
+    sim.run()
+    wall = time.perf_counter() - start
+    return {
+        "events_s": sim.scheduler.events_processed / wall,
+        "envelopes_s": n / wall,
+    }
+
+
+def sim_row(n: int, reps: int) -> Dict[str, Any]:
+    """Kernel throughput with the null sink vs. the buffered JSONL sink."""
+    null_events = _median_rate(reps, lambda: _pump_sim(n, [NullSink()])["events_s"])
+    null_envelopes = _median_rate(
+        reps, lambda: _pump_sim(n, [NullSink()])["envelopes_s"]
+    )
+
+    def jsonl_run() -> float:
+        with tempfile.TemporaryDirectory() as root:
+            sink = JsonlStreamSink(os.path.join(root, "trace.jsonl"), flush_every=64)
+            rate = _pump_sim(n, [sink])["events_s"]
+            sink.close()
+            return rate
+
+    jsonl_events = _median_rate(reps, jsonl_run)
+    return {
+        "metric": "sim",
+        "n": n,
+        "events_s": round(null_events),
+        "envelopes_s": round(null_envelopes),
+        "jsonl_events_s": round(jsonl_events),
+    }
+
+
+# ----------------------------------------------------------------------
+# Layers 3 and 4: the live transports
+# ----------------------------------------------------------------------
+def loopback_row(n: int, reps: int) -> Dict[str, Any]:
+    """Live in-process delivery with the codec off / JSON / binary."""
+    raw = _median_rate(reps, lambda: _pump_live(n, LoopbackTransport(codec=False)))
+    json_rate = _median_rate(
+        reps, lambda: _pump_live(n, LoopbackTransport(codec="json"))
+    )
+    binary_rate = _median_rate(
+        reps, lambda: _pump_live(n, LoopbackTransport(codec="binary"))
+    )
+    return {
+        "metric": "loopback",
+        "n": n,
+        "raw_env_s": round(raw),
+        "json_env_s": round(json_rate),
+        "binary_env_s": round(binary_rate),
+        "speedup": round(binary_rate / json_rate, 2),
+    }
+
+
+def tcp_row(n: int, reps: int, max_batch: int = 64) -> Dict[str, Any]:
+    """Real sockets: {JSON, binary} x {per-frame, batched} drain."""
+    rates: Dict[str, float] = {}
+    bytes_frame: Dict[str, float] = {}
+    for codec in ("json", "binary"):
+        for batch in (1, max_batch):
+            key = f"{codec}_{'perframe' if batch == 1 else 'batched'}"
+            frames = 0
+            sent = 0
+
+            def run() -> float:
+                nonlocal frames, sent
+                transport = TcpTransport(codec=codec, max_batch=batch)
+                rate = _pump_live(n, transport)
+                frames, sent = transport.frames_sent, transport.bytes_sent
+                return rate
+
+            rates[key] = _median_rate(reps, run)
+            bytes_frame[codec] = sent / max(frames, 1)
+    return {
+        "metric": "tcp",
+        "n": n,
+        "json_perframe_env_s": round(rates["json_perframe"]),
+        "json_batched_env_s": round(rates["json_batched"]),
+        "binary_perframe_env_s": round(rates["binary_perframe"]),
+        "binary_batched_env_s": round(rates["binary_batched"]),
+        "json_bytes_frame": round(bytes_frame["json"], 1),
+        "binary_bytes_frame": round(bytes_frame["binary"], 1),
+        "speedup": round(rates["binary_batched"] / rates["json_perframe"], 2),
+    }
+
+
+def experiment_scale_pass(
+    sizes: Optional[Sequence[int]] = None,
+    reps: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """The E-SCALE table (see EXPERIMENTS.md)."""
+    if sizes is None:
+        sizes = QUICK_SIZES if quick_mode() else SIZES
+    if reps is None:
+        reps = QUICK_REPS if quick_mode() else REPS
+    rows: List[Dict[str, Any]] = []
+    for n in sizes:
+        rows.append(codec_row(n, reps))
+    for n in sizes:
+        rows.append(sim_row(n, reps))
+    for n in sizes:
+        rows.append(loopback_row(n, reps))
+    for n in sizes:
+        rows.append(tcp_row(n, reps))
+    return rows

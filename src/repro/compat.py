@@ -1,0 +1,26 @@
+"""Small version-compatibility helpers shared across the packages.
+
+The hot-path dataclasses (envelopes, protocol bodies, trace events) carry
+``__slots__`` so that a million-message run does not pay one ``__dict__``
+per object.  ``dataclass(slots=True)`` only exists on Python 3.10+; on 3.9
+the decorator below degrades to a plain dataclass — identical semantics,
+just without the memory/attribute-lookup win.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable
+
+if sys.version_info >= (3, 10):
+
+    def slotted_dataclass(**kwargs: Any) -> Callable[[type], type]:
+        """``@dataclass(slots=True, ...)``, gated on interpreter support."""
+        return dataclass(slots=True, **kwargs)
+
+else:  # pragma: no cover - exercised only on Python 3.9
+
+    def slotted_dataclass(**kwargs: Any) -> Callable[[type], type]:
+        """Python 3.9 fallback: a plain dataclass (no ``__slots__``)."""
+        return dataclass(**kwargs)

@@ -13,14 +13,14 @@ extension can piggyback checkpoint markers ("marker(t')") on them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.compat import slotted_dataclass
 from typing import Any, Optional, Tuple
 
 from repro.sim.event import PRIORITY_CHECKPOINT, PRIORITY_NORMAL, PRIORITY_ROLLBACK
 from repro.types import Label, Seq, TreeId
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class NormalBody:
     """Payload wrapper for normal messages.
 
@@ -43,7 +43,7 @@ class NormalBody:
     priority = PRIORITY_NORMAL
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class ChkptReq:
     """("chkpt_req", t, max_ij) — ask the receiver to checkpoint (b2 input)."""
 
@@ -54,7 +54,7 @@ class ChkptReq:
     kind = "chkpt_req"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class ChkptAck:
     """("pos_ack"/"neg_ack", t) in reply to a ChkptReq.
 
@@ -76,7 +76,7 @@ class ChkptAck:
     kind = "chkpt_ack"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class ReadyToCommit:
     """("ready_to_commit", t) — subtree checkpointed, awaiting decision (b3)."""
 
@@ -86,7 +86,7 @@ class ReadyToCommit:
     kind = "ready_to_commit"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Commit:
     """("commit", t) — root's positive decision, propagated down (b4 case 1)."""
 
@@ -96,7 +96,7 @@ class Commit:
     kind = "commit"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Abort:
     """("abort", t) — negative decision, propagated down (b4 case 2)."""
 
@@ -106,7 +106,7 @@ class Abort:
     kind = "abort"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class RollReq:
     """("roll_req", t, undo_seq) — ask the receiver to roll back (b6 input).
 
@@ -126,7 +126,7 @@ class RollReq:
     kind = "roll_req"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class RollAck:
     """("pos_ack"/"neg_ack", t) in reply to a RollReq."""
 
@@ -137,7 +137,7 @@ class RollAck:
     kind = "roll_ack"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class RollComplete:
     """("roll_complete", t) — subtree finished rolling back (b7 input)."""
 
@@ -147,7 +147,7 @@ class RollComplete:
     kind = "roll_complete"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Restart:
     """("restart", t) — root's decision to resume, propagated down (b8)."""
 
@@ -161,7 +161,7 @@ class Restart:
 # Section 6 — resiliency control messages
 # ----------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class DecisionInquiry:
     """"Has anyone seen a decision for tree ``t``?" (rules 3 and 6).
 
@@ -176,7 +176,7 @@ class DecisionInquiry:
     kind = "decision_inquiry"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class DecisionReply:
     """Reply to a :class:`DecisionInquiry`.
 

@@ -12,16 +12,17 @@ mutate a body after sending (all protocol bodies are frozen dataclasses).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Any, Optional
 
+from repro.compat import slotted_dataclass
 from repro.types import Label, MessageId, ProcessId, SimTime
 
 NORMAL = "normal"
 CONTROL = "control"
 
 
-@dataclass
+@slotted_dataclass()
 class Envelope:
     """A single message in flight from ``src`` to ``dst``.
 

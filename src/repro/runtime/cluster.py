@@ -48,8 +48,9 @@ class PidRouterSink(TraceSink):
     tooling is tested against honestly sharded input.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, flush_every: int = 64) -> None:
         self.root = str(root)
+        self.flush_every = flush_every
         os.makedirs(self.root, exist_ok=True)
         self._sinks: Dict[Optional[ProcessId], JsonlStreamSink] = {}
 
@@ -57,9 +58,16 @@ class PidRouterSink(TraceSink):
         sink = self._sinks.get(event.pid)
         if sink is None:
             name = "cluster.jsonl" if event.pid is None else f"node-{event.pid}.jsonl"
-            sink = JsonlStreamSink(os.path.join(self.root, name))
+            sink = JsonlStreamSink(
+                os.path.join(self.root, name), flush_every=self.flush_every
+            )
             self._sinks[event.pid] = sink
         sink.emit(event)
+
+    def flush(self) -> None:
+        """Force every per-node stream's buffer out (e.g. for mid-run reads)."""
+        for sink in self._sinks.values():
+            sink.flush()
 
     def close(self) -> None:
         for sink in self._sinks.values():
@@ -82,7 +90,7 @@ class Cluster:
         n: int,
         root: str,
         seed: int = 0,
-        transport: str = "tcp",
+        transport: "str | Transport" = "tcp",
         config: Optional[ProtocolConfig] = None,
         process_cls: Type[CheckpointProcess] = CheckpointProcess,
         time_scale: float = 0.05,
@@ -90,16 +98,23 @@ class Cluster:
         spoolers: bool = True,
         delay_model: Optional["DelayModel"] = None,
         flush_every: int = 8,
+        trace_flush_every: int = 64,
+        codec: str = "binary",
         extra_sinks: Sequence[TraceSink] = (),
     ) -> None:
         if n < 2:
             raise SimulationError("a cluster needs at least 2 nodes")
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
-        self.router = PidRouterSink(os.path.join(self.root, "trace"))
-        self.transport: Transport = (
-            TcpTransport() if transport == "tcp" else LoopbackTransport()
+        self.router = PidRouterSink(
+            os.path.join(self.root, "trace"), flush_every=trace_flush_every
         )
+        if isinstance(transport, Transport):
+            self.transport = transport
+        elif transport == "tcp":
+            self.transport = TcpTransport(codec=codec)
+        else:
+            self.transport = LoopbackTransport(codec=codec)
         self.runtime = AsyncRuntime(
             seed=seed,
             transport=self.transport,
@@ -196,7 +211,19 @@ class Cluster:
     def summary(self) -> Dict[str, Any]:
         """Counters a demo or CI artifact wants at end of run."""
         net = self.runtime.network
+        wire_stats: Dict[str, Any] = {}
+        if isinstance(self.transport, TcpTransport):
+            wire_stats = {
+                "frames_sent": self.transport.frames_sent,
+                "batches_sent": self.transport.batches_sent,
+                "bytes_sent": self.transport.bytes_sent,
+                "negotiated": {
+                    str(pid): version
+                    for pid, version in sorted(self.transport.negotiated.items())
+                },
+            }
         return {
+            **wire_stats,
             "now": self.runtime.now,
             "nodes": len(self.procs),
             "normal_sent": net.normal_sent,

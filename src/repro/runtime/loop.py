@@ -130,6 +130,7 @@ class AsyncScheduler:
         self._heap: List[Tuple[SimTime, int, int, AsyncTimer]] = []
         self._seq = 0
         self._pump_handle: Optional[asyncio.TimerHandle] = None
+        self._armed_when: Optional[SimTime] = None
         self._pending = 0
         self.timers_fired = 0
         self.timers_cancelled = 0
@@ -154,6 +155,7 @@ class AsyncScheduler:
         if self._pump_handle is not None:
             self._pump_handle.cancel()
             self._pump_handle = None
+            self._armed_when = None
 
     @property
     def attached(self) -> bool:
@@ -186,7 +188,13 @@ class AsyncScheduler:
         self._seq += 1
         self._pending += 1
         heapq.heappush(self._heap, (timer.when, timer.priority, timer.seq, timer))
-        if self._loop is not None:
+        # Re-arm only when this timer beats the armed wakeup: cancelling and
+        # re-issuing ``call_at`` per timer is the scheduler's hot-path cost,
+        # and a timer at or after the armed deadline will be drained by the
+        # existing pump anyway (it drains *every* due entry in heap order).
+        if self._loop is not None and (
+            self._armed_when is None or timer.when < self._armed_when
+        ):
             self._rearm_pump()
         return timer
 
@@ -212,8 +220,13 @@ class AsyncScheduler:
         if self._pump_handle is not None:
             self._pump_handle.cancel()
             self._pump_handle = None
+        # Always clear the armed deadline: after the pump drains the heap
+        # empty there is no wakeup, and a stale deadline here would make
+        # ``at`` skip re-arming for any later timer — which would never fire.
+        self._armed_when = None
         if self._heap:
-            real_when = self._epoch + self._heap[0][0] * self.time_scale
+            self._armed_when = self._heap[0][0]
+            real_when = self._epoch + self._armed_when * self.time_scale
             self._pump_handle = self._loop.call_at(
                 max(real_when, self._loop.time()), self._pump
             )

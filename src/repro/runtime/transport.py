@@ -5,20 +5,30 @@ outgoing envelope exactly as the simulated network does, then hands it to a
 :class:`Transport`:
 
 * :class:`LoopbackTransport` — in-process: the envelope (optionally pushed
-  through the full JSON wire codec) is scheduled for delivery on the
-  runtime's real-timer scheduler after a delay sampled from the network's
-  :class:`~repro.net.delay.DelayModel` and ordered by its
+  through the full wire codec, binary by default) is scheduled for delivery
+  on the runtime's real-timer scheduler after a delay sampled from the
+  network's :class:`~repro.net.delay.DelayModel` and ordered by its
   :class:`~repro.net.channel.Channel` policy — the *same* objects the
   simulator uses, so the non-FIFO contract carries over verbatim.  Fast,
   deterministic-ish, and precise about in-flight accounting (supports
   ``AsyncRuntime.join``).
-* :class:`TcpTransport` — every node gets its own length-prefixed-JSON TCP
+* :class:`TcpTransport` — every node gets its own length-prefixed TCP
   server on localhost; sends go through per-destination client connections
-  with real serialization, framing, and socket scheduling.  On arrival the
-  receiving side *also* applies the delay-model/channel pipeline before
-  delivery, so protocol-level delays keep their configured magnitudes and
-  messages genuinely reorder (TCP is FIFO per connection; the sampled
-  post-arrival delay restores the paper's non-FIFO channel model).
+  with real serialization, framing, and socket scheduling.  The payload
+  codec (binary v2 vs JSON v1) is negotiated per connection — the server's
+  accept handler writes a hello advertising its maximum version, the client
+  speaks the minimum of that and its own preference (see
+  :mod:`repro.runtime.wire`).  Outbound frames to one destination are
+  *batched*: the per-destination pump collects every queued envelope (up to
+  ``max_batch``), writes their frames as one buffer, and drains the socket
+  once per batch instead of once per frame.  Batching cannot introduce
+  orderings the model forbids: frames stay whole and in queue order inside
+  a batch, and arrival order was never delivery order anyway — on arrival
+  the receiving side applies the delay-model/channel pipeline *per message*
+  before delivery, so protocol-level delays keep their configured
+  magnitudes and messages genuinely reorder (TCP is FIFO per connection;
+  the sampled post-arrival delay restores the paper's non-FIFO channel
+  model).
 
 Both preserve the delivery-time policy enforcement of
 :meth:`repro.net.network.Network.deliver_local`: partition filtering, crash
@@ -34,7 +44,7 @@ a drop, which the resilient protocol tolerates by design.
 from __future__ import annotations
 
 import asyncio
-from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.errors import TransportError, WireError
 from repro.net.message import Envelope
@@ -112,35 +122,57 @@ class Transport:
         )
 
 
+def _codec_version(codec: "bool | str") -> Optional[int]:
+    """Map a codec knob (bool or name) to a wire version (None = off)."""
+    if codec is True or codec == "binary":
+        return wire.WIRE_V2
+    if codec == "json":
+        return wire.WIRE_V1
+    if codec is False or codec is None:
+        return None
+    raise TransportError(f"unknown codec {codec!r} (use 'binary', 'json', or False)")
+
+
 class LoopbackTransport(Transport):
     """In-process transport: real timers, no sockets.
 
-    With ``codec=True`` (default) every envelope is round-tripped through
-    the JSON wire codec before delivery, so loopback tests also prove the
-    traffic is wire-serializable; ``codec=False`` skips that for raw
-    kernel-overhead benchmarks.
+    With the codec on (default: the binary v2 format) every envelope is
+    round-tripped through the full wire codec before delivery, so loopback
+    tests also prove the traffic is wire-serializable; ``codec="json"``
+    selects the v1 JSON format and ``codec=False`` skips serialization for
+    raw kernel-overhead benchmarks.
     """
 
-    def __init__(self, codec: bool = True) -> None:
+    def __init__(self, codec: "bool | str" = True) -> None:
         super().__init__()
         self.codec = codec
+        self.wire_version = _codec_version(codec)
 
     def send(self, envelope: Envelope) -> None:
         if not self.started:
             raise TransportError("loopback transport is not running")
-        if self.codec:
-            envelope = wire.roundtrip(envelope)
+        if self.wire_version is not None:
+            envelope = wire.roundtrip(envelope, version=self.wire_version)
         self._deliver_after_delay(envelope)
 
 
 class TcpTransport(Transport):
-    """Length-prefixed JSON-over-TCP between per-node localhost servers.
+    """Length-prefixed frames over TCP between per-node localhost servers.
 
     Topology: every pid gets an ``asyncio`` server on ``(host, ephemeral)``;
     the chosen port is remembered so a killed node's endpoint reopens on the
     *same* address at restart (peers reconnect transparently).  Outbound,
     the transport keeps one client connection per destination, fed by a
-    queue so node callbacks never block on a socket.
+    queue so node callbacks never block on a socket; the pump coalesces up
+    to ``max_batch`` queued envelopes into one buffer per write/drain.
+
+    ``codec`` selects the *preferred* wire format ("binary" v2 by default,
+    "json" for the v1 path); what a connection actually speaks is the
+    minimum of that and the version the destination's server advertises in
+    its hello.  ``server_versions`` overrides the advertised version per
+    pid — a pid capped at :data:`~repro.runtime.wire.WIRE_V1` behaves
+    exactly like a JSON-only node from an older build, so mixed-version
+    clusters are testable in-process.
 
     ``disconnect``/``reconnect`` model a node dropping off the network: the
     server socket and its accepted connections close, cached client
@@ -148,17 +180,38 @@ class TcpTransport(Transport):
     through the network's spool-or-drop salvage path.
     """
 
-    def __init__(self, host: str = "127.0.0.1") -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        codec: str = "binary",
+        max_batch: int = 64,
+        server_versions: Optional[Dict["ProcessId", int]] = None,
+    ) -> None:
         super().__init__()
+        if max_batch < 1:
+            raise TransportError(f"max_batch must be >= 1, got {max_batch}")
         self.host = host
+        version = _codec_version(codec)
+        if version is None:
+            raise TransportError("tcp transport requires a codec ('binary' or 'json')")
+        self.preferred_version = version
+        self.max_batch = max_batch
+        self.server_versions: Dict["ProcessId", int] = dict(server_versions or {})
         self._servers: Dict["ProcessId", asyncio.AbstractServer] = {}
         self.ports: Dict["ProcessId", int] = {}
         self._down: Set["ProcessId"] = set()
         self._accepted: Dict["ProcessId", Set[asyncio.StreamWriter]] = {}
-        self._queues: Dict["ProcessId", "asyncio.Queue[Tuple[Envelope, bytes]]"] = {}
+        self._queues: Dict["ProcessId", "asyncio.Queue[Envelope]"] = {}
         self._writer_tasks: Dict["ProcessId", asyncio.Task] = {}
+        self.negotiated: Dict["ProcessId", int] = {}  # dst -> version in use
         self.frames_sent = 0
         self.frames_received = 0
+        self.batches_sent = 0
+        self.bytes_sent = 0
+
+    def _advertised(self, pid: "ProcessId") -> int:
+        """The wire version ``pid``'s server advertises in its hello."""
+        return self.server_versions.get(pid, self.preferred_version)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -173,6 +226,9 @@ class TcpTransport(Transport):
 
         async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
                          pid: "ProcessId" = pid) -> None:
+            # Advertise this endpoint's wire version before anything else;
+            # the client caps its codec preference at what we can decode.
+            writer.write(wire.pack_hello(self._advertised(pid)))
             await self._serve_connection(pid, reader, writer)
 
         server = await asyncio.start_server(handle, host=self.host, port=port)
@@ -213,7 +269,9 @@ class TcpTransport(Transport):
         self._down.add(pid)
         self._close_server(pid)
         # Sever the cached outbound connection *to* the dead peer so queued
-        # frames fail fast instead of into a half-open socket.
+        # frames fail fast instead of into a half-open socket; the wire
+        # version is renegotiated when the endpoint comes back.
+        self.negotiated.pop(pid, None)
         task = self._writer_tasks.pop(pid, None)
         if task is not None:
             task.cancel()
@@ -231,14 +289,13 @@ class TcpTransport(Transport):
     def send(self, envelope: Envelope) -> None:
         if not self.started:
             raise TransportError("tcp transport is not running")
-        frame = wire.dumps_frame(envelope)
         if envelope.dst in self._down:
             self.runtime.network.spool_or_drop(envelope, "unreachable")
             return
         queue = self._queues.get(envelope.dst)
         if queue is None:
             queue = self._queues[envelope.dst] = asyncio.Queue()
-        queue.put_nowait((envelope, frame))
+        queue.put_nowait(envelope)
         task = self._writer_tasks.get(envelope.dst)
         if task is None or task.done():
             self._writer_tasks[envelope.dst] = asyncio.get_running_loop().create_task(
@@ -246,16 +303,27 @@ class TcpTransport(Transport):
             )
 
     async def _drain(self, dst: "ProcessId",
-                     queue: "asyncio.Queue[Tuple[Envelope, bytes]]") -> None:
-        """Outbound pump for one destination: connect, write frames, salvage."""
+                     queue: "asyncio.Queue[Envelope]") -> None:
+        """Outbound pump for one destination: connect, batch, write, salvage.
+
+        Each iteration blocks for one envelope, then *coalesces* everything
+        already queued behind it (up to ``max_batch``) into a single
+        writev-style buffer written and drained once.  Frames stay whole and
+        in queue order, and the receiver samples a per-message delivery
+        delay, so batching changes syscall count — not the ordering the
+        non-FIFO channel model already permits.
+        """
         writer: Optional[asyncio.StreamWriter] = None
         try:
             while True:
-                envelope, frame = await queue.get()
+                batch = [await queue.get()]
+                while len(batch) < self.max_batch and not queue.empty():
+                    batch.append(queue.get_nowait())
                 if dst in self._down:
-                    self.runtime.network.spool_or_drop(envelope, "unreachable")
+                    for envelope in batch:
+                        self.runtime.network.spool_or_drop(envelope, "unreachable")
                     continue
-                writer = await self._write_with_retry(dst, writer, envelope, frame)
+                writer = await self._write_with_retry(dst, writer, batch)
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - surface via runtime.check()
@@ -264,24 +332,34 @@ class TcpTransport(Transport):
             if writer is not None:
                 writer.close()
 
+    async def _connect(self, dst: "ProcessId") -> asyncio.StreamWriter:
+        """Open a connection to ``dst`` and negotiate its wire version."""
+        reader, writer = await asyncio.open_connection(self.host, self.ports[dst])
+        advertised = await wire.read_hello(reader)
+        self.negotiated[dst] = wire.negotiate(self.preferred_version, advertised)
+        return writer
+
     async def _write_with_retry(
         self,
         dst: "ProcessId",
         writer: Optional[asyncio.StreamWriter],
-        envelope: Envelope,
-        frame: bytes,
+        batch: List[Envelope],
     ) -> Optional[asyncio.StreamWriter]:
-        """Write one frame, reconnecting once on a stale cached connection."""
+        """Write one batch as a single buffer, reconnecting once if stale."""
         for attempt in (0, 1):
             if writer is None:
                 try:
-                    _, writer = await asyncio.open_connection(self.host, self.ports[dst])
+                    writer = await self._connect(dst)
                 except OSError:
                     break
+            version = self.negotiated.get(dst, self.preferred_version)
+            buffer = b"".join(wire.dumps_frame(e, version=version) for e in batch)
             try:
-                writer.write(frame)
+                writer.write(buffer)
                 await writer.drain()
-                self.frames_sent += 1
+                self.frames_sent += len(batch)
+                self.batches_sent += 1
+                self.bytes_sent += len(buffer)
                 return writer
             except (ConnectionError, OSError):
                 try:
@@ -289,7 +367,8 @@ class TcpTransport(Transport):
                 except Exception:  # noqa: BLE001
                     pass
                 writer = None
-        self.runtime.network.spool_or_drop(envelope, "unreachable")
+        for envelope in batch:
+            self.runtime.network.spool_or_drop(envelope, "unreachable")
         return None
 
     # ------------------------------------------------------------------

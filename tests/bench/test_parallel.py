@@ -58,3 +58,59 @@ def test_registry_parallel_matches_serial():
     parallel = run_registry_parallel(names, workers=2)
     assert [title for title, _ in parallel] == [title for title, _ in serial]
     assert [rows for _, rows in parallel] == [rows for _, rows in serial]
+
+
+# ----------------------------------------------------------------------
+# Honest worker clamping + the real pool path (forced via a fake CPU count)
+# ----------------------------------------------------------------------
+
+from repro.bench import parallel as P  # noqa: E402
+from repro.bench.parallel import effective_workers, get_pool, shutdown_pool  # noqa: E402
+
+
+def test_effective_workers_caps_at_cpus_and_points(monkeypatch):
+    monkeypatch.setattr(P, "_visible_cpus", lambda: 4)
+    assert effective_workers(8, 10) == 4  # CPU cap
+    assert effective_workers(2, 10) == 2  # request honored under the cap
+    assert effective_workers(8, 3) == 3  # idle workers cost start-up for nothing
+    assert effective_workers(0, 10) == 1  # floor
+    monkeypatch.setattr(P, "_visible_cpus", lambda: 1)
+    assert effective_workers(8, 10) == 1  # the 1-core-container regression case
+
+
+def test_run_sweep_pool_path_matches_serial(monkeypatch):
+    # The other sweep tests silently short-circuit to the serial loop on a
+    # 1-core box; faking the CPU count forces the actual executor path.
+    monkeypatch.setattr(P, "_visible_cpus", lambda: 2)
+    try:
+        points = list(range(5))
+        serial = run_sweep(double, points, workers=1)
+        parallel = run_sweep(double, points, workers=2)
+        assert serial == parallel
+        assert [row["point"] for row in parallel] == points  # order-stable merge
+        assert run_sweep(seeded, ["a", "b", "c"], workers=2, base_seed=5) == run_sweep(
+            seeded, ["a", "b", "c"], workers=1, base_seed=5
+        )
+    finally:
+        shutdown_pool()
+
+
+def test_run_sweep_pool_path_propagates_errors(monkeypatch):
+    monkeypatch.setattr(P, "_visible_cpus", lambda: 2)
+    try:
+        with pytest.raises(ValueError, match="bad point"):
+            run_sweep(boom, [1, 2], workers=2)
+    finally:
+        shutdown_pool()
+
+
+def test_pool_is_shared_and_grow_only(monkeypatch):
+    monkeypatch.setattr(P, "_visible_cpus", lambda: 4)
+    try:
+        pool2 = get_pool(2)
+        assert get_pool(2) is pool2  # reused across sweeps
+        pool4 = get_pool(4)
+        assert pool4 is not pool2  # grown when more workers are needed
+        assert get_pool(3) is pool4  # never shrunk back down
+    finally:
+        shutdown_pool()

@@ -200,3 +200,58 @@ def test_tcp_unreachable_peer_goes_to_spoolers():
     salvaged = group.drain(runtime.is_alive)
     assert [e.msg_id.send_index for e in salvaged] == [0]
     assert runtime.network.dropped == 0
+
+
+def test_tcp_batched_drain_coalesces_writes():
+    # A queued burst to one destination drains as a handful of writev-style
+    # batches, not one syscall per frame — while every frame still arrives.
+    transport = TcpTransport(max_batch=64)
+    runtime, nodes = build(transport, n=2, delay=FixedDelay(0.0))
+
+    async def scenario():
+        await runtime.start()
+        for i in range(64):
+            nodes[0].send(envelope(0, 1, i))
+        await runtime.wait_until(
+            lambda: len(nodes[1].received) == 64, timeout=60.0, what="the burst"
+        )
+        await runtime.shutdown()
+
+    run(scenario())
+    assert transport.frames_sent == 64
+    assert transport.frames_received == 64
+    assert transport.batches_sent < transport.frames_sent
+    assert {e.msg_id.send_index for e in nodes[1].received} == set(range(64))
+
+
+def test_tcp_negotiates_down_to_json_only_peer():
+    # Node 1's server advertises v1 (a JSON-only peer); node 2's speaks v2.
+    # The same binary-preferring sender must talk JSON to one and binary to
+    # the other, transparently.
+    from repro.runtime import wire
+
+    transport = TcpTransport(codec="binary", server_versions={1: wire.WIRE_V1})
+    runtime, nodes = build(transport, n=3, delay=FixedDelay(0.0))
+
+    async def scenario():
+        await runtime.start()
+        nodes[0].send(envelope(0, 1, 0))
+        nodes[0].send(envelope(0, 2, 0))
+        await runtime.wait_until(
+            lambda: runtime.network.delivered == 2, timeout=60.0, what="deliveries"
+        )
+        await runtime.shutdown()
+
+    run(scenario())
+    assert transport.negotiated[1] == wire.WIRE_V1
+    assert transport.negotiated[2] == wire.WIRE_V2
+    assert len(nodes[1].received) == 1 and len(nodes[2].received) == 1
+
+
+def test_tcp_rejects_bad_knobs():
+    with pytest.raises(TransportError):
+        TcpTransport(max_batch=0)
+    with pytest.raises(TransportError):
+        TcpTransport(codec=None)
+    with pytest.raises(TransportError):
+        LoopbackTransport(codec="morse")

@@ -137,3 +137,156 @@ def test_read_frame_reassembles_split_frames():
         assert wire.loads_frame(blob).body == env.body
 
     asyncio.run(asyncio.wait_for(scenario(), 10))
+
+
+# ----------------------------------------------------------------------
+# v2 binary codec: negotiation, byte-stability, JSON agreement
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+def test_negotiate_picks_min_of_preference_and_advert():
+    assert wire.negotiate(wire.WIRE_V2, wire.WIRE_V2) == wire.WIRE_V2
+    assert wire.negotiate(wire.WIRE_V2, wire.WIRE_V1) == wire.WIRE_V1
+    assert wire.negotiate(wire.WIRE_V1, wire.WIRE_V2) == wire.WIRE_V1
+    # A future peer advertising v99 still talks our maximum, not theirs.
+    assert wire.negotiate(wire.WIRE_V2, 99) == wire.WIRE_V2
+    # Garbage adverts clamp up to v1, never to zero.
+    assert wire.negotiate(wire.WIRE_V2, 0) == wire.WIRE_V1
+
+
+def test_read_hello_happy_path_and_fallbacks():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(wire.pack_hello(wire.WIRE_V2))
+        assert await wire.read_hello(reader) == wire.WIRE_V2
+
+        # Wrong magic (a pre-hello peer's first frame) -> treat as v1.
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"XX\x02\x00")
+        assert await wire.read_hello(reader) == wire.WIRE_V1
+
+        # Silence (old server never sends a hello) -> v1 after the timeout.
+        reader = asyncio.StreamReader()
+        assert await wire.read_hello(reader, timeout=0.05) == wire.WIRE_V1
+
+        # Immediate EOF -> v1 (the connection teardown path reports later).
+        reader = asyncio.StreamReader()
+        reader.feed_eof()
+        assert await wire.read_hello(reader) == wire.WIRE_V1
+
+    asyncio.run(asyncio.wait_for(scenario(), 10))
+
+
+def test_loads_frame_sniffs_format_per_frame():
+    env = control(0, 1, M.Commit(tree=T1))
+    json_blob = wire.dumps_frame(env, version=wire.WIRE_V1)[wire.HEADER_SIZE:]
+    binary_blob = wire.dumps_frame(env, version=wire.WIRE_V2)[wire.HEADER_SIZE:]
+    assert json_blob[0] == ord("{") and binary_blob[0] == wire.BINARY_TAG
+    assert wire.loads_frame(json_blob).body == env.body
+    assert wire.loads_frame(binary_blob).body == env.body
+    assert len(binary_blob) < len(json_blob)
+
+
+_tree_ids = st.builds(TreeId, st.integers(0, 9), st.integers(0, 999))
+_msg_ids = st.builds(MessageId, st.integers(0, 9), st.integers(0, 9999))
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    _tree_ids,
+    _msg_ids,
+)
+_payloads = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=3).map(tuple),
+        st.dictionaries(
+            st.one_of(st.integers(-100, 100), st.text(max_size=8), _tree_ids),
+            children,
+            max_size=4,
+        ),
+        st.sets(st.one_of(st.integers(-100, 100), st.text(max_size=8)), max_size=4),
+    ),
+    max_leaves=10,
+)
+_bodies = st.one_of(
+    st.builds(
+        M.NormalBody,
+        payload=_payloads,
+        markers=st.lists(_tree_ids, max_size=3).map(tuple),
+        marker_seq=st.integers(0, 50),
+        incarnation=st.integers(0, 5),
+    ),
+    st.builds(M.ChkptReq, tree=_tree_ids, max_label=st.integers(-1, 10**6)),
+    st.builds(
+        M.ChkptAck,
+        tree=_tree_ids,
+        positive=st.booleans(),
+        undone_notice=st.one_of(
+            st.none(), st.tuples(_tree_ids, st.integers(0, 99), st.integers(0, 99))
+        ),
+    ),
+    st.builds(M.ReadyToCommit, tree=_tree_ids),
+    st.builds(M.Commit, tree=_tree_ids),
+    st.builds(M.Abort, tree=_tree_ids),
+    st.builds(
+        M.RollReq,
+        tree=_tree_ids,
+        undo_seq=st.integers(0, 99),
+        undone_upto=st.integers(0, 99),
+    ),
+    st.builds(M.RollAck, tree=_tree_ids, positive=st.booleans()),
+    st.builds(M.RollComplete, tree=_tree_ids),
+    st.builds(M.Restart, tree=_tree_ids),
+    st.builds(
+        M.DecisionInquiry,
+        tree=_tree_ids,
+        decision_kind=st.sampled_from(["checkpoint", "rollback"]),
+    ),
+    st.builds(
+        M.DecisionReply,
+        tree=_tree_ids,
+        decision_kind=st.sampled_from(["checkpoint", "rollback"]),
+        decision=st.one_of(st.none(), st.sampled_from(["commit", "abort", "restart"])),
+    ),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    body=_bodies,
+    src=st.integers(0, 31),
+    dst=st.integers(0, 31),
+    send_time=st.floats(0, 1e6, allow_nan=False),
+    label=st.integers(0, 2**40),
+    idx=st.integers(0, 2**40),
+)
+def test_binary_frames_are_byte_stable_and_agree_with_json(
+    body, src, dst, send_time, label, idx
+):
+    """The PR's codec property: for every registered body kind,
+
+    * decode(encode(env)) re-encodes to the *identical* bytes, and
+    * the binary path decodes to the same envelope the JSON path does.
+    """
+    if isinstance(body, M.NormalBody):
+        env = normal(src, dst, MessageId(src, idx), label=label, body=body)
+    else:
+        env = control(src, dst, body)
+    env.send_time = send_time
+
+    blob = wire.dumps_frame(env, version=wire.WIRE_V2)[wire.HEADER_SIZE:]
+    assert blob[0] == wire.BINARY_TAG
+    decoded = wire.loads_frame(blob)
+    assert wire.dumps_frame(decoded, version=wire.WIRE_V2)[wire.HEADER_SIZE:] == blob
+
+    via_json = wire.roundtrip(env, version=wire.WIRE_V1)
+    for attr in ("src", "dst", "category", "msg_id", "label", "send_time", "body"):
+        assert getattr(decoded, attr) == getattr(via_json, attr) == getattr(env, attr)
+    assert type(decoded.body) is type(env.body)

@@ -162,3 +162,41 @@ def test_shared_trace_can_be_passed_in():
     trace = Trace()
     sim = Simulation(trace=trace)
     assert sim.trace is trace
+
+
+def test_jsonl_sink_buffers_until_flush_threshold(tmp_path):
+    path = str(tmp_path / "buffered.jsonl")
+    sink = JsonlStreamSink(path, flush_every=4)
+    trace = Trace(sinks=[sink])
+    # Three events sit in the buffer; nothing has hit the file yet.
+    trace.record(0.0, T.K_SEND, pid=0, msg_id=MessageId(0, 1), dst=1, label=1)
+    trace.record(0.5, T.K_RECEIVE, pid=1, msg_id=MessageId(0, 1), src=0, label=1)
+    trace.record(1.0, T.K_CRASH, pid=0)
+    with open(path, encoding="utf-8") as handle:
+        assert handle.read() == ""
+    # The fourth crosses flush_every: all four land in one write.
+    trace.record(1.5, T.K_RECOVER, pid=0)
+    assert len(load_jsonl(path)) == 4
+    # An explicit flush forces a partial buffer out.
+    trace.record(2.0, T.K_CRASH, pid=1)
+    sink.flush()
+    assert len(load_jsonl(path)) == 5
+    trace.close()
+
+
+def test_jsonl_sink_close_is_idempotent_and_guards_late_emits(tmp_path):
+    path = str(tmp_path / "closed.jsonl")
+    sink = JsonlStreamSink(path, flush_every=64)
+    trace = Trace(sinks=[sink])
+    record_sample(trace)
+    trace.close()
+    trace.close()  # idempotent
+    assert sink.closed
+    assert len(load_jsonl(path)) == 6  # close flushed the buffer
+    with pytest.raises(RuntimeError, match="closed"):
+        sink.emit(T.TraceEvent(index=99, time=9.0, kind=T.K_CRASH, pid=0, fields={}))
+
+
+def test_jsonl_sink_rejects_bad_flush_every(tmp_path):
+    with pytest.raises(ValueError):
+        JsonlStreamSink(str(tmp_path / "x.jsonl"), flush_every=0)
