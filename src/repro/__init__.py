@@ -14,60 +14,57 @@ Quick start::
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
 figures and comparison experiments.
+
+Attribute access is lazy (PEP 562): importing a pure submodule such as
+``repro.core.engine`` must not execute the kernel imports these top-level
+re-exports would otherwise trigger.
 """
 
-from repro.analysis import (
-    check_app_states,
-    check_c1,
-    check_no_dangling_receives,
-    check_quiescent,
-    check_recovery_line,
-    collect,
-    reconstruct_trees,
-)
-from repro.core import (
-    CheckpointProcess,
-    ExtendedCheckpointProcess,
-    PartitionCoordinator,
-    ProtocolConfig,
-)
-from repro.errors import ConsistencyViolation, ProtocolError, ReproError
-from repro.failure import FailureDetector, FailureInjector, VoteRegistry
-from repro.sim import Simulation
-from repro.workloads import (
-    BurstyWorkload,
-    ClientServerWorkload,
-    PipelineWorkload,
-    RandomPeerWorkload,
-    RingWorkload,
-    ScriptedWorkload,
-)
+from typing import Any, List
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "BurstyWorkload",
-    "CheckpointProcess",
-    "ClientServerWorkload",
-    "ConsistencyViolation",
-    "ExtendedCheckpointProcess",
-    "FailureDetector",
-    "FailureInjector",
-    "PartitionCoordinator",
-    "PipelineWorkload",
-    "ProtocolConfig",
-    "ProtocolError",
-    "RandomPeerWorkload",
-    "ReproError",
-    "RingWorkload",
-    "ScriptedWorkload",
-    "Simulation",
-    "VoteRegistry",
-    "check_app_states",
-    "check_c1",
-    "check_no_dangling_receives",
-    "check_quiescent",
-    "check_recovery_line",
-    "collect",
-    "reconstruct_trees",
-]
+_EXPORTS = {
+    "BurstyWorkload": ("repro.workloads", "BurstyWorkload"),
+    "CheckpointProcess": ("repro.core", "CheckpointProcess"),
+    "ClientServerWorkload": ("repro.workloads", "ClientServerWorkload"),
+    "ConsistencyViolation": ("repro.errors", "ConsistencyViolation"),
+    "ExtendedCheckpointProcess": ("repro.core", "ExtendedCheckpointProcess"),
+    "FailureDetector": ("repro.failure", "FailureDetector"),
+    "FailureInjector": ("repro.failure", "FailureInjector"),
+    "PartitionCoordinator": ("repro.core", "PartitionCoordinator"),
+    "PipelineWorkload": ("repro.workloads", "PipelineWorkload"),
+    "ProtocolConfig": ("repro.core", "ProtocolConfig"),
+    "ProtocolError": ("repro.errors", "ProtocolError"),
+    "RandomPeerWorkload": ("repro.workloads", "RandomPeerWorkload"),
+    "ReproError": ("repro.errors", "ReproError"),
+    "RingWorkload": ("repro.workloads", "RingWorkload"),
+    "ScriptedWorkload": ("repro.workloads", "ScriptedWorkload"),
+    "Simulation": ("repro.sim", "Simulation"),
+    "VoteRegistry": ("repro.failure", "VoteRegistry"),
+    "check_app_states": ("repro.analysis", "check_app_states"),
+    "check_c1": ("repro.analysis", "check_c1"),
+    "check_no_dangling_receives": ("repro.analysis", "check_no_dangling_receives"),
+    "check_quiescent": ("repro.analysis", "check_quiescent"),
+    "check_recovery_line": ("repro.analysis", "check_recovery_line"),
+    "collect": ("repro.analysis", "collect"),
+    "reconstruct_trees": ("repro.analysis", "reconstruct_trees"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -26,10 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
+from repro import tracekinds as T
 from repro.baselines.base import BaselineProcess
 from repro.core import messages as M
-from repro.sim import trace as T
-from repro.sim.event import PRIORITY_NORMAL
+from repro.core.engine import ProtocolEngine
+from repro.net.message import Envelope, control, normal
+from repro.priorities import PRIORITY_NORMAL
 from repro.types import MessageId, ProcessId, TreeId
 
 
@@ -42,10 +44,8 @@ class DeliveryAck:
     priority = PRIORITY_NORMAL
 
 
-class BarigazziStriginiProcess(BaselineProcess):
+class BarigazziStriginiEngine(ProtocolEngine):
     """Atomic (blocking) sends + fully blocking tentative checkpoints."""
-
-    algorithm_name = "barigazzi-strigini"
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -69,28 +69,21 @@ class BarigazziStriginiProcess(BaselineProcess):
         dst, payload = self._send_window.pop(0)
         msg_id = self._new_msg_id()
         label = self.ledger.record_send(msg_id, dst)
-        self.sim.trace.record(
-            self.now, T.K_SEND, pid=self.node_id,
-            msg_id=msg_id, dst=dst, label=label, payload=payload,
-        )
+        self._trace(T.K_SEND, msg_id=msg_id, dst=dst, label=label, payload=payload)
         self._awaiting_ack = msg_id
-        self.sim.trace.record(self.now, T.K_SUSPEND_SEND, pid=self.node_id)
-        from repro.net.message import normal
-
+        self._trace(T.K_SUSPEND_SEND)
         self.send(normal(self.node_id, dst, msg_id, label, M.NormalBody(payload=payload)))
 
     def _on_delivery_ack(self, src: ProcessId, ack: DeliveryAck) -> None:
         if self._awaiting_ack == ack.msg_id:
             self._awaiting_ack = None
-            self.sim.trace.record(self.now, T.K_RESUME_SEND, pid=self.node_id)
+            self._trace(T.K_RESUME_SEND)
             self._drain_send_window()
 
-    def _on_normal(self, envelope) -> None:
+    def _on_normal(self, envelope: Envelope) -> None:
         # Acknowledge delivery first (completing the sender's atomic send),
         # then consume normally.  Discarded messages are acked too: the
         # atomic send completes even if the receive is suppressed.
-        from repro.net.message import control
-
         self.send(control(self.node_id, envelope.src, DeliveryAck(msg_id=envelope.msg_id)))
         super()._on_normal(envelope)
 
@@ -126,3 +119,10 @@ class BarigazziStriginiProcess(BaselineProcess):
             self._on_delivery_ack(src, body)
             return
         super()._dispatch_control(src, body)
+
+
+class BarigazziStriginiProcess(BaselineProcess):
+    """Adapter driving :class:`BarigazziStriginiEngine`."""
+
+    algorithm_name = "barigazzi-strigini"
+    engine_class = BarigazziStriginiEngine

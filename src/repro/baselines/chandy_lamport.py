@@ -27,9 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set
 
+from repro import tracekinds as T
 from repro.baselines.base import BaselineProcess
-from repro.sim import trace as T
-from repro.sim.event import PRIORITY_CHECKPOINT
+from repro.core.engine import ProtocolEngine
+from repro.net.message import Envelope
+from repro.priorities import PRIORITY_CHECKPOINT
 from repro.types import ProcessId, TreeId
 
 
@@ -62,10 +64,8 @@ class SnapshotState:
             self.recording = set()
 
 
-class ChandyLamportProcess(BaselineProcess):
+class ChandyLamportEngine(ProtocolEngine):
     """Marker-based global snapshots on a complete FIFO topology."""
-
-    algorithm_name = "chandy-lamport"
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -78,9 +78,7 @@ class ChandyLamportProcess(BaselineProcess):
         if self.crashed:
             return None
         tree_id = self._new_tree_id()
-        self.sim.trace.record(
-            self.now, T.K_INSTANCE_START, pid=self.node_id, tree=tree_id, instance="checkpoint"
-        )
+        self._trace(T.K_INSTANCE_START, tree=tree_id, instance="checkpoint")
         self._record_local(tree_id)
         return tree_id
 
@@ -90,15 +88,15 @@ class ChandyLamportProcess(BaselineProcess):
         snapshot.state = self.app.snapshot()
         seq = self.ledger.advance()
         snapshot.recorded_at_seq = seq
-        others = [p for p in self.sim.process_ids if p != self.node_id]
+        others = [p for p in self.peers if p != self.node_id]
         snapshot.recording = set(others)
         self.snapshots[tree_id] = snapshot
         # The snapshot is also this process's checkpoint: committed
         # immediately (Chandy-Lamport has no decision phase).
         self.store.take_new(seq, snapshot.state, made_at=self.now, **self._ledger_manifest())
         self.committed_history.append(self.store.commit_new())
-        self.sim.trace.record(self.now, T.K_CHKPT_TENTATIVE, pid=self.node_id, seq=seq, tree=tree_id)
-        self.sim.trace.record(self.now, T.K_CHKPT_COMMIT, pid=self.node_id, seq=seq, tree=tree_id)
+        self._trace(T.K_CHKPT_TENTATIVE, seq=seq, tree=tree_id)
+        self._trace(T.K_CHKPT_COMMIT, seq=seq, tree=tree_id)
         for pid in others:
             self._send_control(pid, Marker(tree=tree_id))
         if not others:
@@ -121,14 +119,12 @@ class ChandyLamportProcess(BaselineProcess):
             return
         snapshot.complete = True
         if snapshot.tree.initiator == self.node_id:
-            self.sim.trace.record(
-                self.now, T.K_INSTANCE_COMMIT, pid=self.node_id, tree=snapshot.tree
-            )
+            self._trace(T.K_INSTANCE_COMMIT, tree=snapshot.tree)
 
     # ------------------------------------------------------------------
     # Channel recording piggybacks on normal delivery
     # ------------------------------------------------------------------
-    def _on_normal(self, envelope) -> None:
+    def _on_normal(self, envelope: Envelope) -> None:
         for snapshot in self.snapshots.values():
             if not snapshot.complete and envelope.src in snapshot.recording:
                 snapshot.channel_state.setdefault(envelope.src, []).append(
@@ -148,10 +144,14 @@ class ChandyLamportProcess(BaselineProcess):
     # ------------------------------------------------------------------
     def _dispatch_control(self, src: ProcessId, body) -> None:
         if isinstance(body, Marker):
-            self.sim.trace.record(
-                self.now, T.K_CTRL_RECEIVE, pid=self.node_id,
-                src=src, msg_type=body.kind, tree=body.tree,
-            )
+            self._trace(T.K_CTRL_RECEIVE, src=src, msg_type=body.kind, tree=body.tree)
             self._on_marker(src, body)
             return
         super()._dispatch_control(src, body)
+
+
+class ChandyLamportProcess(BaselineProcess):
+    """Adapter driving :class:`ChandyLamportEngine`."""
+
+    algorithm_name = "chandy-lamport"
+    engine_class = ChandyLamportEngine

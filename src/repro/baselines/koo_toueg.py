@@ -25,9 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import tracekinds as T
 from repro.baselines.base import BaselineProcess
 from repro.core import messages as M
-from repro.sim import trace as T
+from repro.core.engine import ProtocolEngine
 from repro.types import ProcessId, SimTime, TreeId
 
 
@@ -40,10 +41,9 @@ class BusyReject:
     priority = M.ChkptAck.priority
 
 
-class KooTouegProcess(BaselineProcess):
+class KooTouegEngine(ProtocolEngine):
     """Single-instance coordinated checkpointing with reject-and-retry."""
 
-    algorithm_name = "koo-toueg"
     RETRY_DELAY: SimTime = 5.0
 
     # ------------------------------------------------------------------
@@ -86,9 +86,7 @@ class KooTouegProcess(BaselineProcess):
         """A member of our instance is engaged elsewhere: abort and retry."""
         tree = self.trees.chkpt.get(msg.tree)
         if tree is not None and not tree.closed:
-            self.sim.trace.record(
-                self.now, T.K_INSTANCE_REJECTED, pid=self.node_id, tree=msg.tree
-            )
+            self._trace(T.K_INSTANCE_REJECTED, tree=msg.tree)
             if not tree.is_root:
                 # Cascade the rejection up so the root learns and retries.
                 self._send_control(tree.parent, BusyReject(tree=msg.tree))
@@ -100,15 +98,16 @@ class KooTouegProcess(BaselineProcess):
         roll = self.trees.roll.get(msg.tree)
         if roll is not None and not roll.closed:
             # A rollback cannot be abandoned; retry the rejected child later.
-            self.set_timer(
+            self._set_timer(
                 f"roll-retry-{msg.tree}-{src}",
                 self.RETRY_DELAY,
                 lambda: self._retry_roll_child(msg.tree, src),
             )
 
     def _schedule_retry(self) -> None:
-        jitter = self.sim.rng.stream("kt-retry", self.node_id).uniform(0.0, 1.0)
-        self.set_timer("kt-retry", self.RETRY_DELAY + jitter, self._retry_checkpoint)
+        self._set_timer(
+            "kt-retry", self.RETRY_DELAY, self._retry_checkpoint, jitter=("kt-retry", 0.0, 1.0)
+        )
 
     def _retry_checkpoint(self) -> None:
         if self.initiate_checkpoint() is None and not self.crashed:
@@ -147,9 +146,7 @@ class KooTouegProcess(BaselineProcess):
         state = self.trees.chkpt.get(tree_id)
         if state is not None and not state.closed and not state.is_root:
             self._send_control(state.parent, BusyReject(tree=tree_id))
-        self.sim.trace.record(
-            self.now, T.K_INSTANCE_REJECTED, pid=self.node_id, tree=tree_id
-        )
+        self._trace(T.K_INSTANCE_REJECTED, tree=tree_id)
         self._abort_instance(tree_id)
         self._remember_decision(tree_id, "abort")
 
@@ -174,10 +171,14 @@ class KooTouegProcess(BaselineProcess):
     # ------------------------------------------------------------------
     def _dispatch_control(self, src: ProcessId, body) -> None:
         if isinstance(body, BusyReject):
-            self.sim.trace.record(
-                self.now, T.K_CTRL_RECEIVE, pid=self.node_id,
-                src=src, msg_type=body.kind, tree=body.tree,
-            )
+            self._trace(T.K_CTRL_RECEIVE, src=src, msg_type=body.kind, tree=body.tree)
             self._on_busy_reject(src, body)
             return
         super()._dispatch_control(src, body)
+
+
+class KooTouegProcess(BaselineProcess):
+    """Adapter driving :class:`KooTouegEngine`."""
+
+    algorithm_name = "koo-toueg"
+    engine_class = KooTouegEngine

@@ -26,9 +26,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
+from repro import tracekinds as T
 from repro.baselines.base import BaselineProcess
 from repro.core import messages as M
-from repro.sim import trace as T
+from repro.core.engine import ProtocolEngine
+from repro.net.message import Envelope
 from repro.types import ProcessId, TreeId
 
 
@@ -59,10 +61,8 @@ class GlobalRollback:
     priority = M.RollReq.priority
 
 
-class TamirSequinProcess(BaselineProcess):
+class TamirSequinEngine(ProtocolEngine):
     """System-wide coordinated checkpointing under a static coordinator."""
-
-    algorithm_name = "tamir-sequin"
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -81,12 +81,11 @@ class TamirSequinProcess(BaselineProcess):
     def _current_incarnation(self) -> int:
         return self.incarnation
 
-    def _on_normal(self, envelope) -> None:
+    def _on_normal(self, envelope: Envelope) -> None:
         if envelope.body.incarnation < self.incarnation:
             # The message straddles a global restore: channel-flush drop.
-            self.sim.trace.record(
-                self.now, T.K_DISCARD, pid=self.node_id,
-                msg_id=envelope.msg_id, src=envelope.src, label=envelope.label,
+            self._trace(
+                T.K_DISCARD, msg_id=envelope.msg_id, src=envelope.src, label=envelope.label,
                 reason="stale_incarnation",
             )
             return
@@ -97,7 +96,7 @@ class TamirSequinProcess(BaselineProcess):
     # ------------------------------------------------------------------
     @property
     def _coordinator(self) -> ProcessId:
-        return min(self.sim.process_ids)
+        return min(self.peers)
 
     def initiate_checkpoint(self) -> Optional[TreeId]:
         if self.crashed:
@@ -121,10 +120,7 @@ class TamirSequinProcess(BaselineProcess):
     def _enqueue_op(self, op: str) -> TreeId:
         tree_id = self._new_tree_id()
         self._op_queue.append((op, tree_id))
-        self.sim.trace.record(
-            self.now, T.K_INSTANCE_START, pid=self.node_id, tree=tree_id,
-            instance=op,
-        )
+        self._trace(T.K_INSTANCE_START, tree=tree_id, instance=op)
         self._maybe_start_op()
         return tree_id
 
@@ -133,7 +129,7 @@ class TamirSequinProcess(BaselineProcess):
             return
         op, tree_id = self._op_queue.pop(0)
         self._busy, self._op_kind, self._acks = tree_id, op, set()
-        others = [p for p in self.sim.process_ids if p != self.node_id]
+        others = [p for p in self.peers if p != self.node_id]
         if op == "checkpoint":
             self._take_tentative(tree_id)
             for pid in others:
@@ -154,29 +150,29 @@ class TamirSequinProcess(BaselineProcess):
         if self._busy != ack.tree or self._op_kind != "checkpoint":
             return
         self._acks.add(src)
-        if self._acks >= set(self.sim.process_ids) - {self.node_id}:
+        if self._acks >= set(self.peers) - {self.node_id}:
             self._finish_checkpoint_op()
 
     def _on_roll_ack(self, src: ProcessId, ack: M.RollAck) -> None:
         if self._busy != ack.tree or self._op_kind != "rollback":
             return
         self._acks.add(src)
-        if self._acks >= set(self.sim.process_ids) - {self.node_id}:
+        if self._acks >= set(self.peers) - {self.node_id}:
             self._finish_rollback_op()
 
     def _finish_checkpoint_op(self) -> None:
         tree_id = self._busy
-        for pid in self.sim.process_ids:
+        for pid in self.peers:
             if pid != self.node_id:
                 self._send_control(pid, M.Commit(tree=tree_id))
         self._local_commit(tree_id)
-        self.sim.trace.record(self.now, T.K_INSTANCE_COMMIT, pid=self.node_id, tree=tree_id)
+        self._trace(T.K_INSTANCE_COMMIT, tree=tree_id)
         self._busy = self._op_kind = None
         self._maybe_start_op()
 
     def _finish_rollback_op(self) -> None:
         tree_id = self._busy
-        self.sim.trace.record(self.now, T.K_INSTANCE_COMMIT, pid=self.node_id, tree=tree_id)
+        self._trace(T.K_INSTANCE_COMMIT, tree=tree_id)
         self._busy = self._op_kind = None
         self._maybe_start_op()
 
@@ -190,9 +186,7 @@ class TamirSequinProcess(BaselineProcess):
         self.chkpt_commit_set = {tree_id}
         self._persist_commit_set()
         self._suspend_send()
-        self.sim.trace.record(
-            self.now, T.K_CHKPT_TENTATIVE, pid=self.node_id, seq=seq, tree=tree_id
-        )
+        self._trace(T.K_CHKPT_TENTATIVE, seq=seq, tree=tree_id)
 
     def _on_global_freeze(self, src: ProcessId, msg: GlobalFreeze) -> None:
         if self._current != msg.tree:
@@ -203,9 +197,7 @@ class TamirSequinProcess(BaselineProcess):
         if self.store.newchkpt is not None and tree_id in self.chkpt_commit_set:
             committed = self.store.commit_new()
             self.committed_history.append(committed)
-            self.sim.trace.record(
-                self.now, T.K_CHKPT_COMMIT, pid=self.node_id, seq=committed.seq, tree=tree_id
-            )
+            self._trace(T.K_CHKPT_COMMIT, seq=committed.seq, tree=tree_id)
         self.chkpt_commit_set = set()
         self._persist_commit_set()
         self._current = None
@@ -233,32 +225,28 @@ class TamirSequinProcess(BaselineProcess):
         target = self.store.oldchkpt
         self.app.restore(target.state)
         undone_sends, undone_receives = self.ledger.undo_for_rollback(target.seq)
-        self.sim.trace.record(
-            self.now, T.K_ROLLBACK, pid=self.node_id, to_seq=target.seq, tree=tree_id,
-            target="oldchkpt",
+        self._trace(
+            T.K_ROLLBACK, to_seq=target.seq, tree=tree_id, target="oldchkpt",
             undone_sends=len(undone_sends), undone_receives=len(undone_receives),
         )
         for record in undone_sends:
-            self.sim.trace.record(
-                self.now, T.K_UNDO_SEND, pid=self.node_id,
-                msg_id=record.msg_id, dst=record.dst, label=record.label,
+            self._trace(
+                T.K_UNDO_SEND, msg_id=record.msg_id, dst=record.dst, label=record.label
             )
         for record in undone_receives:
-            self.sim.trace.record(
-                self.now, T.K_UNDO_RECEIVE, pid=self.node_id,
-                msg_id=record.msg_id, src=record.src, label=record.label,
+            self._trace(
+                T.K_UNDO_RECEIVE, msg_id=record.msg_id, src=record.src, label=record.label
             )
         new_interval = self.ledger.advance()
-        self.sim.trace.record(self.now, T.K_RESTART, pid=self.node_id, new_interval=new_interval)
+        self._trace(T.K_RESTART, new_interval=new_interval)
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def _dispatch_control(self, src: ProcessId, body) -> None:
         if isinstance(body, (CoordRequest, GlobalFreeze, GlobalRollback)):
-            self.sim.trace.record(
-                self.now, T.K_CTRL_RECEIVE, pid=self.node_id,
-                src=src, msg_type=body.kind, tree=getattr(body, "tree", None),
+            self._trace(
+                T.K_CTRL_RECEIVE, src=src, msg_type=body.kind, tree=getattr(body, "tree", None)
             )
             if isinstance(body, CoordRequest):
                 self._on_coord_request(src, body)
@@ -268,3 +256,10 @@ class TamirSequinProcess(BaselineProcess):
                 self._on_global_rollback(src, body)
             return
         super()._dispatch_control(src, body)
+
+
+class TamirSequinProcess(BaselineProcess):
+    """Adapter driving :class:`TamirSequinEngine`."""
+
+    algorithm_name = "tamir-sequin"
+    engine_class = TamirSequinEngine

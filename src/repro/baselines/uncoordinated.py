@@ -18,15 +18,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import tracekinds as T
 from repro.baselines.base import BaselineProcess
-from repro.sim import trace as T
+from repro.core.engine import ProtocolEngine
 from repro.types import TreeId
 
 
-class UncoordinatedProcess(BaselineProcess):
+class UncoordinatedEngine(ProtocolEngine):
     """Independent local checkpointing; no protocol messages at all."""
-
-    algorithm_name = "uncoordinated"
 
     def initiate_checkpoint(self) -> Optional[TreeId]:
         """Take a local checkpoint: no requests, no two-phase commit."""
@@ -37,12 +36,10 @@ class UncoordinatedProcess(BaselineProcess):
         self.store.take_new(seq, self.app.snapshot(), made_at=self.now, **self._ledger_manifest())
         record = self.store.commit_new()
         self.committed_history.append(record)
-        self.sim.trace.record(
-            self.now, T.K_INSTANCE_START, pid=self.node_id, tree=tree_id, instance="checkpoint"
-        )
-        self.sim.trace.record(self.now, T.K_CHKPT_TENTATIVE, pid=self.node_id, seq=seq, tree=tree_id)
-        self.sim.trace.record(self.now, T.K_CHKPT_COMMIT, pid=self.node_id, seq=seq, tree=tree_id)
-        self.sim.trace.record(self.now, T.K_INSTANCE_COMMIT, pid=self.node_id, tree=tree_id)
+        self._trace(T.K_INSTANCE_START, tree=tree_id, instance="checkpoint")
+        self._trace(T.K_CHKPT_TENTATIVE, seq=seq, tree=tree_id)
+        self._trace(T.K_CHKPT_COMMIT, seq=seq, tree=tree_id)
+        self._trace(T.K_INSTANCE_COMMIT, tree=tree_id)
         self._reset_checkpoint_timer()
         return tree_id
 
@@ -60,23 +57,26 @@ class UncoordinatedProcess(BaselineProcess):
         target = self.store.oldchkpt
         self.app.restore(target.state)
         undone_sends, undone_receives = self.ledger.undo_for_rollback(target.seq)
-        self.sim.trace.record(
-            self.now, T.K_INSTANCE_START, pid=self.node_id, tree=tree_id, instance="rollback"
-        )
-        self.sim.trace.record(
-            self.now, T.K_ROLLBACK, pid=self.node_id, to_seq=target.seq, tree=tree_id,
-            target="oldchkpt", undone_sends=len(undone_sends), undone_receives=len(undone_receives),
+        self._trace(T.K_INSTANCE_START, tree=tree_id, instance="rollback")
+        self._trace(
+            T.K_ROLLBACK, to_seq=target.seq, tree=tree_id, target="oldchkpt",
+            undone_sends=len(undone_sends), undone_receives=len(undone_receives),
         )
         for record in undone_sends:
-            self.sim.trace.record(
-                self.now, T.K_UNDO_SEND, pid=self.node_id,
-                msg_id=record.msg_id, dst=record.dst, label=record.label,
+            self._trace(
+                T.K_UNDO_SEND, msg_id=record.msg_id, dst=record.dst, label=record.label
             )
         for record in undone_receives:
-            self.sim.trace.record(
-                self.now, T.K_UNDO_RECEIVE, pid=self.node_id,
-                msg_id=record.msg_id, src=record.src, label=record.label,
+            self._trace(
+                T.K_UNDO_RECEIVE, msg_id=record.msg_id, src=record.src, label=record.label
             )
         self.output_queue.clear()
         self.ledger.advance()
         return tree_id
+
+
+class UncoordinatedProcess(BaselineProcess):
+    """Adapter driving :class:`UncoordinatedEngine`."""
+
+    algorithm_name = "uncoordinated"
+    engine_class = UncoordinatedEngine

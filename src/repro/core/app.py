@@ -56,7 +56,7 @@ class CounterApp:
 
     LOG_LIMIT = 64
 
-    def __init__(self, pid: ProcessId):
+    def __init__(self, pid: ProcessId) -> None:
         self.pid = pid
         self.steps = 0
         self.consumed = 0

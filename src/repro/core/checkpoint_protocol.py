@@ -1,8 +1,9 @@
 """The checkpoint half of the algorithm: procedures b1-b4 (paper 3.5.2).
 
-Implemented as a mixin over :class:`repro.core.process.CheckpointProcess`,
-which supplies the shared state (``ledger``, ``store``, ``trees``,
-``chkpt_commit_set``, suspension flags) and the messaging helpers.
+Implemented as a pure mixin over :class:`repro.core.engine.EngineBase`, which
+supplies the shared state (``ledger``, ``store``, ``trees``,
+``chkpt_commit_set``, suspension flags) and the effect-emitting helpers.  The
+mixin never touches a kernel: traces, sends and timers are effects.
 
 The paper's procedures block on ``await (pos_ack|neg_ack)``; in our
 event-driven daemon each procedure runs to completion and parks the await in
@@ -13,16 +14,17 @@ materialisation of condition b3: it fires whenever an ack or a
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
+from repro import tracekinds as T
 from repro.core import messages as M
 from repro.core.trees import ChkptTreeState
-from repro.sim import trace as T
+from repro.priorities import PRIORITY_NORMAL
 from repro.types import ProcessId, TreeId
 
 
 class ChkptProtocolMixin:
-    """Procedures b1-b4.  Mixed into ``CheckpointProcess``."""
+    """Procedures b1-b4.  Mixed into ``ProtocolEngine``."""
 
     # ------------------------------------------------------------------
     # b1 — chkpt_initiation
@@ -40,9 +42,7 @@ class ChkptProtocolMixin:
             return None  # b1 requires newchkpt(i) = nil
 
         tree_id = self._new_tree_id()
-        self.sim.trace.record(
-            self.now, T.K_INSTANCE_START, pid=self.node_id, tree=tree_id, instance="checkpoint"
-        )
+        self._trace(T.K_INSTANCE_START, tree=tree_id, instance="checkpoint")
         tree = self.trees.open_chkpt(tree_id, parent=None)
         self._make_new_checkpoint(tree_id)
         self._propagate_chkpt_requests(tree)
@@ -127,9 +127,7 @@ class ChkptProtocolMixin:
         self._persist_commit_set()
         self._suspend_send()
         self._reset_checkpoint_timer()
-        self.sim.trace.record(
-            self.now, T.K_CHKPT_TENTATIVE, pid=self.node_id, seq=seq, tree=tree_id
-        )
+        self._trace(T.K_CHKPT_TENTATIVE, seq=seq, tree=tree_id)
 
     def _propagate_chkpt_requests(self, tree: ChkptTreeState, interval: Optional[int] = None) -> None:
         """Send ("chkpt_req", t, max_ki) to every potential chkpt-child P_k.
@@ -162,7 +160,7 @@ class ChkptProtocolMixin:
             self._send_control(child, M.ChkptReq(tree=tree.tree, max_label=max_label))
         self._schedule_rule1_for_dead(potentials)
 
-    def _schedule_rule1_for_dead(self, potentials) -> None:
+    def _schedule_rule1_for_dead(self, potentials: Dict[ProcessId, int]) -> None:
         """Rule 1, applied proactively at fan-out time.
 
         A potential chkpt-child already known to be down will never answer;
@@ -173,10 +171,11 @@ class ChkptProtocolMixin:
         """
         for child in sorted(potentials):
             if self._believed_down(child):
-                self.sim.scheduler.after(
+                self._set_timer(
+                    f"rule1-P{child}-{self._next_id('rule1')}",
                     0.0,
                     lambda dead=child: self.on_failure_notice(dead),
-                    label=f"P{self.node_id} rule1 dead child P{child}",
+                    priority=PRIORITY_NORMAL,
                 )
 
     # ------------------------------------------------------------------
@@ -227,7 +226,9 @@ class ChkptProtocolMixin:
                 return
         self._answer_late_child(src, msg.tree, self.trees.chkpt.get(msg.tree))
 
-    def _answer_late_child(self, child: ProcessId, tree_id: TreeId, tree) -> None:
+    def _answer_late_child(
+        self, child: ProcessId, tree_id: TreeId, tree: Optional[ChkptTreeState]
+    ) -> None:
         """Forward an already-taken decision to a child that joined late."""
         decision = (tree.decision if tree is not None else None) or self.decisions_seen.get(tree_id)
         if decision == "abort":
@@ -321,15 +322,11 @@ class ChkptProtocolMixin:
         shared = self.chkpt_commit_set
         self.chkpt_commit_set = set()
         self._persist_commit_set()
-        self.sim.trace.record(
-            self.now, T.K_CHKPT_COMMIT, pid=self.node_id, seq=committed.seq, tree=tree_id
-        )
+        self._trace(T.K_CHKPT_COMMIT, seq=committed.seq, tree=tree_id)
         for other in shared:
             state = self.trees.chkpt.get(other)
             if state is not None and state.is_root:
-                self.sim.trace.record(
-                    self.now, T.K_INSTANCE_COMMIT, pid=self.node_id, tree=other
-                )
+                self._trace(T.K_INSTANCE_COMMIT, tree=other)
         self._resume_send()
         self._remember_decision(tree_id, "commit")
 
@@ -348,14 +345,10 @@ class ChkptProtocolMixin:
             if not self.chkpt_commit_set and self.store.has_new:
                 discarded = self.store.newchkpt
                 self.store.discard_new()
-                self.sim.trace.record(
-                    self.now, T.K_CHKPT_ABORT, pid=self.node_id, seq=discarded.seq, tree=tree_id
-                )
+                self._trace(T.K_CHKPT_ABORT, seq=discarded.seq, tree=tree_id)
                 self._resume_send()
         if tree is not None:
             was_open_root = tree.is_root and not tree.closed
             self._forward_decision(tree, "abort")
             if was_open_root:
-                self.sim.trace.record(
-                    self.now, T.K_INSTANCE_ABORT, pid=self.node_id, tree=tree_id
-                )
+                self._trace(T.K_INSTANCE_ABORT, tree=tree_id)

@@ -1,0 +1,680 @@
+"""The sans-IO Leu-Bhargava protocol engine.
+
+:class:`ProtocolEngine` is a pure state machine: it consumes the typed input
+events of :mod:`repro.core.events` through a single entrypoint —
+``handle(event) -> list[Effect]`` — and describes every externally visible
+action as a typed effect from :mod:`repro.core.effects`.  It holds **zero**
+references to ``Node``, ``Scheduler``, ``Trace`` or stable storage; the same
+engine instance runs unchanged under the discrete-event simulation, the live
+asyncio runtime, and the :mod:`repro.mc` interleaving explorer.
+
+Layering:
+
+* this module — engine state, the event loop, the effect plumbing, the
+  normal-message plane, and the pure checkpoint stores;
+* :mod:`repro.core.checkpoint_protocol` — procedures b1-b4 (mixin);
+* :mod:`repro.core.rollback_protocol` — procedures b5-b8 (mixin);
+* :mod:`repro.core.recovery` — the Section 6 failure rules (mixin);
+* :mod:`repro.core.process` — the kernel adapter that interprets effects.
+
+Effects are *eagerly sinked*: when an adapter installs ``engine._sink``, each
+effect is applied the moment it is emitted, which preserves the exact
+interleaving of traces, sends and synchronous redeliveries that the
+pre-refactor mixins produced (a spool redelivery re-enters ``handle``
+mid-event).  ``handle`` additionally collects the effects of the outermost
+dispatch and returns them, which is what sink-less drivers (tests, the model
+checker) consume.
+
+Suspension model (paper 3.5.2 comments):
+
+* a pending ``newchkpt`` suspends *sending* normal messages only — receives
+  and local computation continue;
+* membership in an unfinished rollback instance suspends *sending and
+  receiving*; incoming normal messages are discarded;
+* application sends issued while sending is suspended are queued in the
+  output queue and flushed on resume;
+* a rollback clears the output queue (queued messages belong to the undone
+  computation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.compat import slotted_dataclass
+from repro.core import effects as FX
+from repro.core import events as EV
+from repro.core import messages as M
+from repro.core.app import Application, CounterApp
+from repro.core.checkpoint_protocol import ChkptProtocolMixin
+from repro.core.labels import LabelLedger
+from repro.core.recovery import RecoveryMixin
+from repro.core.rollback_protocol import RollProtocolMixin
+from repro.core.trees import TreeRegistry
+from repro.errors import ProtocolError, StableStorageError
+from repro.net.message import Envelope, control, normal
+from repro.priorities import PRIORITY_NORMAL, PRIORITY_TIMER
+from repro.tracekinds import (
+    K_CTRL_RECEIVE,
+    K_CTRL_SEND,
+    K_DISCARD,
+    K_RECEIVE,
+    K_RESUME_ALL,
+    K_RESUME_SEND,
+    K_SEND,
+    K_SUSPEND_ALL,
+    K_SUSPEND_SEND,
+)
+from repro.types import CheckpointRecord, MessageId, ProcessId, Seq, SimTime, TreeId
+
+
+@slotted_dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables for a :class:`ProtocolEngine` / ``CheckpointProcess``.
+
+    ``checkpoint_interval`` — period of the autonomous checkpoint timer
+    (condition b1); ``None`` disables the timer (tests and scripted scenarios
+    call ``initiate_checkpoint`` directly).
+
+    ``failure_resilience`` — enable the Section 6 exception handlers (rules
+    1-6).  Off by default so the base algorithm can be studied in isolation.
+
+    ``ack_timeout`` / ``decision_timeout`` — how long a resilient process
+    waits on a peer before the failure handlers treat it as unresponsive;
+    only used when ``failure_resilience`` is on and complements the failure
+    detector (which is the primary trigger).
+
+    ``inquiry_retry_interval`` — how often a blocked process re-broadcasts a
+    rule-6 decision inquiry while no answer arrives.
+
+    The config is frozen and validated at construction: negative timeouts
+    make the protocol silently mis-schedule, so they are rejected here rather
+    than surfacing as a confusing kernel error mid-run.
+    """
+
+    checkpoint_interval: Optional[SimTime] = None
+    failure_resilience: bool = False
+    ack_timeout: SimTime = 30.0
+    decision_timeout: SimTime = 30.0
+    inquiry_retry_interval: SimTime = 10.0
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 0:
+            raise ValueError(f"checkpoint_interval must be >= 0, got {self.checkpoint_interval}")
+        for name in ("ack_timeout", "decision_timeout", "inquiry_retry_interval"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+class CheckpointSlots:
+    """Pure in-engine mirror of the two-slot ``oldchkpt``/``newchkpt`` store.
+
+    Mutations emit the matching storage effect through the owning engine, so
+    an adapter can replay them onto a real
+    :class:`repro.stable.checkpoint.CheckpointStore` while the engine reasons
+    over plain records.
+    """
+
+    def __init__(self, engine: "EngineBase") -> None:
+        self._engine = engine
+        self.oldchkpt: Optional[CheckpointRecord] = None
+        self.newchkpt: Optional[CheckpointRecord] = None
+
+    @property
+    def has_new(self) -> bool:
+        return self.newchkpt is not None
+
+    def initialize(
+        self, state: Any, made_at: SimTime = 0.0, seq: Seq = 1, meta: Optional[Dict[str, Any]] = None
+    ) -> CheckpointRecord:
+        record = CheckpointRecord(
+            seq=seq, state=state, committed=True, made_at=made_at, meta=dict(meta or {})
+        )
+        self.oldchkpt = record
+        self.newchkpt = None
+        self._engine._emit(
+            FX.SaveCheckpoint(
+                kind="initial", seq=seq, state=state, made_at=made_at,
+                meta=record.meta, store=FX.SLOT,
+            )
+        )
+        return record
+
+    def take_new(self, seq: Seq, state: Any, made_at: SimTime = 0.0, **meta: Any) -> CheckpointRecord:
+        if self.has_new:
+            raise StableStorageError("newchkpt already exists; commit or discard it first")
+        record = CheckpointRecord(seq=seq, state=state, committed=False, made_at=made_at, meta=meta)
+        self.newchkpt = record
+        self._engine._emit(
+            FX.SaveCheckpoint(
+                kind="new", seq=seq, state=state, made_at=made_at, meta=meta, store=FX.SLOT
+            )
+        )
+        return record
+
+    def commit_new(self) -> CheckpointRecord:
+        pending = self.newchkpt
+        if pending is None:
+            raise StableStorageError("no newchkpt to commit")
+        pending.committed = True
+        self.oldchkpt = pending
+        self.newchkpt = None
+        self._engine._emit(FX.CommitThrough(seq=pending.seq, store=FX.SLOT))
+        return pending
+
+    def discard_new(self) -> None:
+        self.newchkpt = None
+        self._engine._emit(FX.DiscardCheckpoints(from_seq=None, store=FX.SLOT))
+
+
+class CheckpointStack:
+    """Pure mirror of the Section 3.5.3 pending-checkpoint stack."""
+
+    def __init__(self, engine: "EngineBase") -> None:
+        self._engine = engine
+        self.oldchkpt: Optional[CheckpointRecord] = None
+        self._pending: List[CheckpointRecord] = []
+
+    @property
+    def pending(self) -> List[CheckpointRecord]:
+        return list(self._pending)
+
+    @property
+    def pending_seqs(self) -> List[Seq]:
+        return [r.seq for r in self._pending]
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def newest(self) -> Optional[CheckpointRecord]:
+        return self._pending[-1] if self._pending else None
+
+    def find(self, seq: Seq) -> Optional[CheckpointRecord]:
+        for record in self._pending:
+            if record.seq == seq:
+                return record
+        return None
+
+    def initialize(
+        self, state: Any, made_at: SimTime = 0.0, seq: Seq = 1, meta: Optional[Dict[str, Any]] = None
+    ) -> CheckpointRecord:
+        record = CheckpointRecord(
+            seq=seq, state=state, committed=True, made_at=made_at, meta=dict(meta or {})
+        )
+        self.oldchkpt = record
+        self._pending = []
+        self._engine._emit(
+            FX.SaveCheckpoint(
+                kind="initial", seq=seq, state=state, made_at=made_at,
+                meta=record.meta, store=FX.STACK,
+            )
+        )
+        return record
+
+    def push(self, seq: Seq, state: Any, made_at: SimTime = 0.0, **meta: Any) -> CheckpointRecord:
+        if self._pending and seq <= self._pending[-1].seq:
+            raise StableStorageError(
+                f"checkpoint seq {seq} not newer than pending seq {self._pending[-1].seq}"
+            )
+        record = CheckpointRecord(seq=seq, state=state, committed=False, made_at=made_at, meta=meta)
+        self._pending.append(record)
+        self._engine._emit(
+            FX.SaveCheckpoint(
+                kind="push", seq=seq, state=state, made_at=made_at, meta=meta, store=FX.STACK
+            )
+        )
+        return record
+
+    def commit_through(self, seq: Seq) -> CheckpointRecord:
+        target = self.find(seq)
+        if target is None:
+            raise StableStorageError(f"no pending checkpoint with seq {seq}")
+        target.committed = True
+        self.oldchkpt = target
+        self._pending = [r for r in self._pending if r.seq > seq]
+        self._engine._emit(FX.CommitThrough(seq=seq, store=FX.STACK))
+        return target
+
+    def discard_from(self, seq: Seq) -> List[CheckpointRecord]:
+        dropped = [r for r in self._pending if r.seq >= seq]
+        self._pending = [r for r in self._pending if r.seq < seq]
+        self._engine._emit(FX.DiscardCheckpoints(from_seq=seq, store=FX.STACK))
+        return dropped
+
+
+class EngineBase:
+    """Engine state, event dispatch and effect plumbing shared by variants."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: Optional[ProtocolConfig] = None,
+        app: Optional[Application] = None,
+    ) -> None:
+        self.node_id = pid
+        self.config = config or ProtocolConfig()
+        self.app: Application = app or CounterApp(pid)
+        self.store = CheckpointSlots(self)
+        self.ledger = LabelLedger(pid)
+        self.trees = TreeRegistry()
+        self.chkpt_commit_set: set = set()
+        self.roll_restart_set: set = set()
+        self.output_queue: List[Tuple[ProcessId, Any]] = []
+        self.send_suspended = False   # pending newchkpt blocks normal sends
+        self.comm_suspended = False   # unfinished rollback blocks send+receive
+        # Decisions this process has observed, for Section 6 inquiries.
+        self.decisions_seen: Dict[TreeId, str] = {}
+        self._recovering = False
+        self._open_inquiries: Dict[TreeId, str] = {}
+        self._pending_spool: List[Envelope] = []
+        # Analysis-only archive of every committed checkpoint, in order.
+        self.committed_history: List[Any] = []
+        self.crashed = False
+        self.peers: Tuple[ProcessId, ...] = ()
+        #: Result of the last Initiate* event (the new tree's id or None).
+        self.last_result: Optional[TreeId] = None
+
+        self._now: SimTime = 0.0
+        # Environment snapshots carried by the last event (see events.py).
+        self._down: Optional[frozenset] = None
+        self._status_down: Optional[Tuple[ProcessId, ...]] = None
+        self._spool_decisions: Optional[Tuple[Any, ...]] = None
+        self._timer_actions: Dict[str, Callable[[], None]] = {}
+        self._counters: Dict[str, int] = {}
+        # Mirrors of the PersistMeta effects, so recovery never reads storage.
+        self._persisted_commit_set: List[Any] = []
+        self._persisted_decisions: List[Any] = []
+        # Effect plumbing: eager per-effect sink + per-handle collection list.
+        self._sink: Optional[Callable[[Any], None]] = None
+        self._effects: Optional[List[Any]] = None
+
+    # ------------------------------------------------------------------
+    # The sans-IO entrypoint
+    # ------------------------------------------------------------------
+    def handle(self, event: EV.Event) -> List[FX.Effect]:
+        """Apply one input event; returns the effects it produced.
+
+        Reentrant: a ``Redeliver`` effect applied by an eager sink delivers
+        an envelope synchronously, which re-enters ``handle`` mid-event; the
+        collection list is saved and restored so each call returns exactly
+        its own effects.
+        """
+        previous = self._effects
+        collected: List[FX.Effect] = []
+        self._effects = collected
+        try:
+            self._dispatch_event(event)
+        finally:
+            self._effects = previous
+        return collected
+
+    def _dispatch_event(self, event: EV.Event) -> None:
+        self._now = getattr(event, "at", self._now)
+        self._down = getattr(event, "down", None)
+        self._status_down = getattr(event, "status_down", None)
+        self.last_result = None
+        if isinstance(event, EV.Deliver):
+            self.on_envelope(event.envelope)
+        elif isinstance(event, EV.TimerFired):
+            self._on_timer_fired(event.name)
+        elif isinstance(event, EV.AppSend):
+            self.send_app_message(event.dst, event.payload)
+        elif isinstance(event, EV.LocalStep):
+            self.local_step()
+        elif isinstance(event, EV.InitiateCheckpoint):
+            self.last_result = self.initiate_checkpoint()
+        elif isinstance(event, EV.InitiateRollback):
+            self.last_result = self.initiate_rollback()
+        elif isinstance(event, EV.Start):
+            self.peers = tuple(event.peers)
+            self.on_start()
+        elif isinstance(event, EV.Fail):
+            self.crashed = True
+            self._timer_actions.clear()
+            self.on_crash()
+        elif isinstance(event, EV.Recover):
+            self.crashed = False
+            self.on_recover(event)
+        elif isinstance(event, EV.FailureNotice):
+            self.on_failure_notice(event.pid)
+        elif isinstance(event, EV.RecoveryNotice):
+            self.on_recovery_notice(event.pid)
+        else:
+            raise ProtocolError(f"unknown engine event {event!r}")
+
+    def _emit(self, effect: FX.Effect) -> None:
+        if self._effects is not None:
+            self._effects.append(effect)
+        if self._sink is not None:
+            self._sink(effect)
+
+    # ------------------------------------------------------------------
+    # Kernel-facing vocabulary (all pure: every action is an effect)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        """Time of the event currently being handled."""
+        return self._now
+
+    def send(self, envelope: Envelope) -> None:
+        self._emit(FX.Send(envelope=envelope))
+
+    def _trace(self, kind: str, **fields: Any) -> None:
+        self._emit(FX.EmitTrace(kind=kind, fields=fields))
+
+    def _set_timer(
+        self,
+        name: str,
+        delay: SimTime,
+        action: Callable[[], None],
+        priority: int = PRIORITY_TIMER,
+        jitter: Optional[Tuple[str, float, float]] = None,
+    ) -> None:
+        self._timer_actions[name] = action
+        self._emit(FX.SetTimer(name=name, delay=delay, priority=priority, jitter=jitter))
+
+    def cancel_timer(self, name: str) -> None:
+        self._timer_actions.pop(name, None)
+        self._emit(FX.CancelTimer(name=name))
+
+    def _on_timer_fired(self, name: str) -> None:
+        action = self._timer_actions.pop(name, None)
+        if action is not None and not self.crashed:
+            action()
+
+    def _next_id(self, key: str) -> int:
+        value = self._counters.get(key, 0)
+        self._counters[key] = value + 1
+        return value
+
+    def _new_tree_id(self) -> TreeId:
+        return TreeId(self.node_id, self._next_id("tree"))
+
+    def _new_msg_id(self) -> MessageId:
+        return MessageId(self.node_id, self._next_id("msg"))
+
+    def _believed_down(self, pid: ProcessId) -> bool:
+        """Is ``pid`` believed failed by the status monitor?
+
+        Only meaningful with failure resilience on; without it the base
+        algorithm assumes no failures and never consults the detector.  The
+        detector's view rides on the event being handled (``down``).
+        """
+        if not self.config.failure_resilience:
+            return False
+        return self._down is not None and pid in self._down
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Install the initial committed checkpoint and arm the b1 timer.
+
+        The birth checkpoint has sequence number 1 and the interval counter
+        starts there too, so the first interval's messages carry label 1 and
+        label 0 stays free as the "nothing received" sentinel (paper Fig. 2).
+        """
+        self.ledger.n = 1
+        self.store.initialize(
+            self.app.snapshot(), made_at=self.now, meta=self._ledger_manifest()
+        )
+        self.committed_history = [self.store.oldchkpt]
+        self._reset_checkpoint_timer()
+
+    def _ledger_manifest(self) -> Dict[str, Any]:
+        """Which live sends/receives the state being checkpointed reflects.
+
+        Stored in each checkpoint's ``meta`` purely for the analysis layer:
+        the C1/C2 checkers and the minimality theorems are verified against
+        these manifests (see :mod:`repro.analysis.consistency`).  The
+        protocol itself never reads them.
+        """
+        return {
+            "recv": sorted(
+                (r.src, r.msg_id.send_index) for r in self.ledger.live_receives()
+            ),
+            "sent": sorted(
+                (r.dst, r.msg_id.send_index) for r in self.ledger.live_sends()
+            ),
+        }
+
+    def _reset_checkpoint_timer(self) -> None:
+        """"After P_i makes a new checkpoint, its checkpoint timer is reset."""
+        if self.config.checkpoint_interval is None:
+            return
+        self._set_timer(
+            "checkpoint",
+            self.config.checkpoint_interval,
+            self._checkpoint_timer_fired,
+            jitter=("ckpt-timer", 0.0, 0.1),
+        )
+
+    def _checkpoint_timer_fired(self) -> None:
+        self.initiate_checkpoint()
+        self._reset_checkpoint_timer()
+
+    # ------------------------------------------------------------------
+    # Suspension bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def can_send_normal(self) -> bool:
+        return not (self.crashed or self.send_suspended or self.comm_suspended)
+
+    def _suspend_send(self) -> None:
+        if not self.send_suspended:
+            self.send_suspended = True
+            self._trace(K_SUSPEND_SEND)
+
+    def _resume_send(self) -> None:
+        if self.send_suspended:
+            self.send_suspended = False
+            self._trace(K_RESUME_SEND)
+            self._flush_output_queue()
+
+    def _suspend_comm(self) -> None:
+        if not self.comm_suspended:
+            self.comm_suspended = True
+            self._trace(K_SUSPEND_ALL)
+
+    def _resume_comm(self) -> None:
+        if self.comm_suspended:
+            self.comm_suspended = False
+            self._trace(K_RESUME_ALL)
+            self._flush_output_queue()
+            self._drain_pending_spool()
+
+    def _flush_output_queue(self) -> None:
+        if not self.can_send_normal:
+            return
+        queued, self.output_queue = self.output_queue, []
+        for dst, payload in queued:
+            self._transmit_normal(dst, payload)
+
+    # ------------------------------------------------------------------
+    # Normal-message plane (workload-facing API)
+    # ------------------------------------------------------------------
+    def send_app_message(self, dst: ProcessId, payload: Any) -> None:
+        """Application-level send; queued if sending is currently suspended."""
+        if self.crashed:
+            return
+        if self.can_send_normal:
+            self._transmit_normal(dst, payload)
+        else:
+            self.output_queue.append((dst, payload))
+
+    def local_step(self) -> None:
+        """One unit of local application computation (never suspended)."""
+        if not self.crashed:
+            self.app.local_step()
+
+    def _transmit_normal(self, dst: ProcessId, payload: Any) -> None:
+        msg_id = self._new_msg_id()
+        label = self.ledger.record_send(msg_id, dst)
+        body = M.NormalBody(
+            payload=payload,
+            markers=self._current_markers(),
+            incarnation=self._current_incarnation(),
+        )
+        self._trace(K_SEND, msg_id=msg_id, dst=dst, label=label, payload=payload)
+        self.send(normal(self.node_id, dst, msg_id, label, body))
+
+    def _current_markers(self) -> tuple:
+        """Markers piggybacked on normal sends (empty in the base algorithm;
+        the Section 3.5.3 extension overrides this)."""
+        return ()
+
+    def _current_incarnation(self) -> int:
+        """Sender incarnation stamp (always 0 here; Tamir-Séquin overrides)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def on_envelope(self, envelope: Envelope) -> None:
+        if self.crashed:
+            return
+        if envelope.is_normal:
+            self._on_normal(envelope)
+        else:
+            self._dispatch_control(envelope.src, envelope.body)
+
+    def _on_normal(self, envelope: Envelope) -> None:
+        src, label, msg_id = envelope.src, envelope.label, envelope.msg_id
+        if self.comm_suspended:
+            # "The suspend statement causes all subsequent incoming messages
+            # to be discarded."
+            self._trace(K_DISCARD, msg_id=msg_id, src=src, label=label, reason="roll_suspended")
+            return
+        if self.ledger.should_discard(src, label):
+            # The sender undid this message before we ever consumed it.
+            self._trace(K_DISCARD, msg_id=msg_id, src=src, label=label, reason="undone_in_transit")
+            return
+        body: M.NormalBody = envelope.body
+        self._before_consume_normal(src, body)
+        self.ledger.record_receive(msg_id, src, label)
+        self._trace(K_RECEIVE, msg_id=msg_id, src=src, label=label)
+        self.app.handle_message(src, body.payload)
+
+    def _before_consume_normal(self, src: ProcessId, body: M.NormalBody) -> None:
+        """Extension hook: act on piggybacked markers before consuming."""
+
+    def _dispatch_control(self, src: ProcessId, body: Any) -> None:
+        self._trace(
+            K_CTRL_RECEIVE, src=src, msg_type=body.kind, tree=getattr(body, "tree", None)
+        )
+        if isinstance(body, M.ChkptReq):
+            self._on_chkpt_req(src, body)
+        elif isinstance(body, M.ChkptAck):
+            self._on_chkpt_ack(src, body)
+        elif isinstance(body, M.ReadyToCommit):
+            self._on_ready_to_commit(src, body)
+        elif isinstance(body, M.Commit):
+            self._on_commit(src, body)
+        elif isinstance(body, M.Abort):
+            self._on_abort(src, body)
+        elif isinstance(body, M.RollReq):
+            self._on_roll_req(src, body)
+        elif isinstance(body, M.RollAck):
+            self._on_roll_ack(src, body)
+        elif isinstance(body, M.RollComplete):
+            self._on_roll_complete(src, body)
+        elif isinstance(body, M.Restart):
+            self._on_restart(src, body)
+        elif isinstance(body, M.DecisionInquiry):
+            self._on_decision_inquiry(src, body)
+        elif isinstance(body, M.DecisionReply):
+            self._on_decision_reply(src, body)
+
+    def _send_control(self, dst: ProcessId, body: Any) -> None:
+        fields = {"dst": dst, "msg_type": body.kind, "tree": getattr(body, "tree", None)}
+        if hasattr(body, "positive"):
+            fields["positive"] = body.positive
+        self._trace(K_CTRL_SEND, **fields)
+        # Decisions are also observed by spoolers so restarting processes can
+        # learn them (Section 6, rule 3).
+        if isinstance(body, (M.Commit, M.Abort, M.Restart)):
+            self._emit(FX.ObserveDecision(kind=body.kind, tree=body.tree))
+        self.send(control(self.node_id, dst, body))
+
+    # ------------------------------------------------------------------
+    # Shared protocol helpers
+    # ------------------------------------------------------------------
+    def _remember_decision(self, tree_id: Optional[TreeId], decision: str) -> None:
+        """Record an observed instance decision for Section 6 inquiries.
+
+        With failure resilience on, the record is also persisted: a decision
+        a process applied to its stable checkpoints must survive its own
+        crash, or a recovering peer's inquiry could go unanswered forever
+        while the decided state lives on.
+        """
+        if tree_id is None or tree_id in self.decisions_seen:
+            return
+        self.decisions_seen[tree_id] = decision
+        if self.config.failure_resilience:
+            value = [
+                [t.initiator, t.initiation_seq, d]
+                for t, d in self.decisions_seen.items()
+            ]
+            self._persisted_decisions = value
+            self._emit(FX.PersistMeta(key="decisions", value=value))
+
+    def _load_decisions(self) -> Dict[TreeId, str]:
+        return {TreeId(i, s): d for i, s, d in self._persisted_decisions}
+
+    def _persist_commit_set(self) -> None:
+        """Keep chkpt_commit_set recoverable: rule 3 needs it after a crash."""
+        value = sorted((t.initiator, t.initiation_seq) for t in self.chkpt_commit_set)
+        self._persisted_commit_set = value
+        self._emit(FX.PersistMeta(key="commit_set", value=value))
+
+    def _load_commit_set(self) -> set:
+        return {TreeId(i, s) for i, s in self._persisted_commit_set}
+
+    # Overridden by the protocol mixins; declared so the base class is
+    # complete for the event dispatcher.
+    def initiate_checkpoint(self) -> Optional[TreeId]:  # pragma: no cover
+        raise NotImplementedError
+
+    def initiate_rollback(self) -> Optional[TreeId]:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_crash(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_recover(self, event: EV.Recover) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_failure_notice(self, pid: ProcessId) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_recovery_notice(self, pid: ProcessId) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _drain_pending_spool(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} P{self.node_id} {state} n={self.ledger.n}>"
+
+
+#: Rule-1 proactive notices are scheduled (not called inline) so the current
+#: procedure finishes first; the historical scheduler default they used.
+RULE1_PRIORITY = PRIORITY_NORMAL
+
+
+class ProtocolEngine(ChkptProtocolMixin, RollProtocolMixin, RecoveryMixin, EngineBase):
+    """The full Leu-Bhargava daemon as a pure state machine."""
+
+
+__all__ = [
+    "CheckpointSlots",
+    "CheckpointStack",
+    "EngineBase",
+    "ProtocolConfig",
+    "ProtocolEngine",
+    "RULE1_PRIORITY",
+]

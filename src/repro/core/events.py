@@ -1,0 +1,151 @@
+"""Typed input events for the sans-IO :class:`repro.core.engine.ProtocolEngine`.
+
+An adapter (the simulation :class:`repro.sim.node.Node` process, the live
+:class:`repro.runtime.loop.AsyncRuntime` process, or the model checker's
+:mod:`repro.mc` harness) translates whatever happens in its world into one of
+these events and feeds it to ``ProtocolEngine.handle``.  The engine never
+talks to a kernel: everything it may legitimately know about the outside —
+the current time, which peers the failure detector believes down, what a
+spooler replica held — rides on the event itself.
+
+Field conventions:
+
+* ``at`` — the kernel time the event happened; becomes the engine's notion
+  of "now" (used for checkpoint ``made_at`` stamps).
+* ``down`` — frozen snapshot of the failure detector's believed-down set,
+  or ``None`` when resilience is off / no detector exists.  Drives the
+  proactive rule-1/rule-2 handling.
+* ``status_down`` — processes the status monitor reports non-operational
+  (assumption c of the paper), or ``None`` without a detector.  Consumed by
+  the rule-3 recovery tail, which replays missed failure notices.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.compat import slotted_dataclass
+from repro.net.message import Envelope
+from repro.types import ProcessId, SimTime
+
+
+@slotted_dataclass(frozen=True)
+class Start:
+    """The kernel started this process (fires once, before any traffic)."""
+
+    peers: Tuple[ProcessId, ...]
+    at: SimTime = 0.0
+
+
+@slotted_dataclass(frozen=True)
+class Deliver:
+    """The network delivered ``envelope`` to this process."""
+
+    envelope: Envelope
+    at: SimTime = 0.0
+    down: Optional[frozenset] = None
+    status_down: Optional[Tuple[ProcessId, ...]] = None
+
+
+@slotted_dataclass(frozen=True)
+class TimerFired:
+    """A timer previously requested via a ``SetTimer`` effect expired."""
+
+    name: str
+    at: SimTime = 0.0
+    down: Optional[frozenset] = None
+    status_down: Optional[Tuple[ProcessId, ...]] = None
+
+
+@slotted_dataclass(frozen=True)
+class InitiateCheckpoint:
+    """Condition b1: autonomously start a checkpointing instance."""
+
+    at: SimTime = 0.0
+    down: Optional[frozenset] = None
+    status_down: Optional[Tuple[ProcessId, ...]] = None
+
+
+@slotted_dataclass(frozen=True)
+class InitiateRollback:
+    """Condition b5: a transient error was detected; roll back."""
+
+    at: SimTime = 0.0
+    down: Optional[frozenset] = None
+    status_down: Optional[Tuple[ProcessId, ...]] = None
+
+
+@slotted_dataclass(frozen=True)
+class AppSend:
+    """The application asks to send ``payload`` to ``dst``."""
+
+    dst: ProcessId
+    payload: Any = None
+    at: SimTime = 0.0
+
+
+@slotted_dataclass(frozen=True)
+class LocalStep:
+    """One unit of local application computation."""
+
+    at: SimTime = 0.0
+
+
+@slotted_dataclass(frozen=True)
+class Fail:
+    """Fail-stop crash: volatile protocol state vanishes."""
+
+    at: SimTime = 0.0
+
+
+@slotted_dataclass(frozen=True)
+class Recover:
+    """The process restarts after a crash (Section 6, rule 3).
+
+    ``spooled`` carries the envelopes drained from this process's spooler
+    group (``None`` when no spoolers are installed); ``spool_decisions`` the
+    ``(kind, tree)`` decision pairs the live spooler replicas observed
+    (``None`` when unavailable — no group, or every replica down).
+    """
+
+    at: SimTime = 0.0
+    down: Optional[frozenset] = None
+    status_down: Optional[Tuple[ProcessId, ...]] = None
+    spooled: Optional[Tuple[Envelope, ...]] = None
+    spool_decisions: Optional[Tuple[Any, ...]] = None
+
+
+@slotted_dataclass(frozen=True)
+class FailureNotice:
+    """The failure detector reports that peer ``pid`` crashed."""
+
+    pid: ProcessId
+    at: SimTime = 0.0
+    down: Optional[frozenset] = None
+    status_down: Optional[Tuple[ProcessId, ...]] = None
+
+
+@slotted_dataclass(frozen=True)
+class RecoveryNotice:
+    """The failure detector reports that peer ``pid`` is operational again."""
+
+    pid: ProcessId
+    at: SimTime = 0.0
+
+
+Event = Any  # any of the classes above; kept loose for Python 3.9
+
+__all__ = [
+    "AppSend",
+    "Deliver",
+    "Event",
+    "Fail",
+    "FailureNotice",
+    "InitiateCheckpoint",
+    "InitiateRollback",
+    "LocalStep",
+    "Recover",
+    "RecoveryNotice",
+    "Start",
+    "TimerFired",
+]

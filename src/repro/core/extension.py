@@ -23,33 +23,38 @@ The paper's case analysis assumes the referenced label sits exactly at a
 pending checkpoint's boundary; we implement the general covering rule (the
 earliest pending checkpoint with ``seq > label`` serves the request) of
 which the paper's cases are instances — see DESIGN.md §5.
+
+Split like the base algorithm: :class:`ExtendedProtocolEngine` is the pure
+sans-IO variant (safe to import from :mod:`repro.core.engine` consumers),
+:class:`ExtendedCheckpointProcess` the kernel adapter that mirrors the pure
+checkpoint stack onto a real :class:`~repro.stable.checkpoint.MultiCheckpointStore`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
+from repro import tracekinds as T
 from repro.core import messages as M
-from repro.core.process import CheckpointProcess, ProtocolConfig
+from repro.core.app import Application
+from repro.core.engine import CheckpointStack, ProtocolConfig, ProtocolEngine
+from repro.core.process import CheckpointProcess
 from repro.core.trees import ChkptTreeState
-from repro.sim import trace as T
 from repro.stable.checkpoint import MultiCheckpointStore
-from repro.stable.storage import StableStorage
 from repro.types import CheckpointRecord, ProcessId, Seq, TreeId
 
 
-class ExtendedCheckpointProcess(CheckpointProcess):
-    """`CheckpointProcess` variant implementing the Section 3.5.3 extension."""
+class ExtendedProtocolEngine(ProtocolEngine):
+    """`ProtocolEngine` variant implementing the Section 3.5.3 extension."""
 
     def __init__(
         self,
         pid: ProcessId,
         config: Optional[ProtocolConfig] = None,
-        app: Optional[Any] = None,
-        storage: Optional[StableStorage] = None,
-    ):
-        super().__init__(pid, config=config, app=app, storage=storage)
-        self.multi_store = MultiCheckpointStore(self.storage, namespace="mckpt")
+        app: Optional[Application] = None,
+    ) -> None:
+        super().__init__(pid, config=config, app=app)
+        self.multi_store = CheckpointStack(self)
         # Per-pending-checkpoint commit sets: seq -> {tree timestamps}.
         self.commit_sets: Dict[Seq, Set[TreeId]] = {}
         self.tree_to_seq: Dict[TreeId, Seq] = {}
@@ -61,8 +66,9 @@ class ExtendedCheckpointProcess(CheckpointProcess):
     # ------------------------------------------------------------------
     def on_start(self) -> None:
         self.ledger.n = 1
-        initial = self.multi_store.initialize(self.app.snapshot(), made_at=self.now)
-        initial.meta.update(self._ledger_manifest())
+        initial = self.multi_store.initialize(
+            self.app.snapshot(), made_at=self.now, meta=self._ledger_manifest()
+        )
         self.store.initialize(self.app.snapshot(), made_at=self.now)  # unused mirror
         self.committed_history = [initial]
         self._reset_checkpoint_timer()
@@ -91,9 +97,7 @@ class ExtendedCheckpointProcess(CheckpointProcess):
         if self.crashed or self.comm_suspended:
             return None
         tree_id = self._new_tree_id()
-        self.sim.trace.record(
-            self.now, T.K_INSTANCE_START, pid=self.node_id, tree=tree_id, instance="checkpoint"
-        )
+        self._trace(T.K_INSTANCE_START, tree=tree_id, instance="checkpoint")
         tree = self.trees.open_chkpt(tree_id, parent=None)
         record = self._push_new_checkpoint(tree_id)
         self._propagate_ext_requests(tree, record)
@@ -109,9 +113,7 @@ class ExtendedCheckpointProcess(CheckpointProcess):
         self.tree_to_seq[tree_id] = seq
         self._sync_union_set()
         self._reset_checkpoint_timer()
-        self.sim.trace.record(
-            self.now, T.K_CHKPT_TENTATIVE, pid=self.node_id, seq=seq, tree=tree_id
-        )
+        self._trace(T.K_CHKPT_TENTATIVE, seq=seq, tree=tree_id)
         return record
 
     def _propagate_ext_requests(self, tree: ChkptTreeState, serving: CheckpointRecord) -> None:
@@ -229,9 +231,7 @@ class ExtendedCheckpointProcess(CheckpointProcess):
         seq = self.tree_to_seq[tree_id]
         committed = self.multi_store.commit_through(seq)
         self.committed_history.append(committed)
-        self.sim.trace.record(
-            self.now, T.K_CHKPT_COMMIT, pid=self.node_id, seq=committed.seq, tree=tree_id
-        )
+        self._trace(T.K_CHKPT_COMMIT, seq=committed.seq, tree=tree_id)
         # Instances attached to this or older pending checkpoints are now
         # satisfied; drop their bookkeeping — unless a later recruitment
         # round attached the instance to a still-pending newer checkpoint,
@@ -247,13 +247,11 @@ class ExtendedCheckpointProcess(CheckpointProcess):
                 self.tree_to_seq.pop(satisfied, None)
                 state = self.trees.chkpt.get(satisfied)
                 if state is not None and state.is_root and satisfied != tree_id:
-                    self.sim.trace.record(
-                        self.now, T.K_INSTANCE_COMMIT, pid=self.node_id, tree=satisfied
-                    )
+                    self._trace(T.K_INSTANCE_COMMIT, tree=satisfied)
         self._sync_union_set()
         self._remember_decision(tree_id, "commit")
         if was_open_root:
-            self.sim.trace.record(self.now, T.K_INSTANCE_COMMIT, pid=self.node_id, tree=tree_id)
+            self._trace(T.K_INSTANCE_COMMIT, tree=tree_id)
 
     def _on_abort(self, src: ProcessId, msg: M.Abort) -> None:
         self._remember_decision(msg.tree, "abort")
@@ -279,15 +277,13 @@ class ExtendedCheckpointProcess(CheckpointProcess):
                 remaining = [r for r in self.multi_store.discard_from(seq) if r.seq > seq]
                 for record in remaining:
                     self.multi_store.push(record.seq, record.state, record.made_at, **record.meta)
-                self.sim.trace.record(
-                    self.now, T.K_CHKPT_ABORT, pid=self.node_id, seq=seq, tree=tree_id
-                )
+                self._trace(T.K_CHKPT_ABORT, seq=seq, tree=tree_id)
         self._sync_union_set()
         if tree is not None:
             was_open_root = tree.is_root and not tree.closed
             self._forward_decision(tree, "abort")
             if was_open_root:
-                self.sim.trace.record(self.now, T.K_INSTANCE_ABORT, pid=self.node_id, tree=tree_id)
+                self._trace(T.K_INSTANCE_ABORT, tree=tree_id)
 
     # ------------------------------------------------------------------
     # Rollback (extension cases 1-3)
@@ -297,9 +293,7 @@ class ExtendedCheckpointProcess(CheckpointProcess):
         if self.crashed:
             return None
         tree_id = self._new_tree_id()
-        self.sim.trace.record(
-            self.now, T.K_INSTANCE_START, pid=self.node_id, tree=tree_id, instance="rollback"
-        )
+        self._trace(T.K_INSTANCE_START, tree=tree_id, instance="rollback")
         tree = self.trees.open_roll(tree_id, parent=None)
         target = self.multi_store.newest or self.multi_store.oldchkpt
         self._discard_pending_after(target.seq, keep_target=True)
@@ -324,10 +318,7 @@ class ExtendedCheckpointProcess(CheckpointProcess):
             tree = self.trees.roll[req.tree]
             if tree.closed:
                 tree = self.trees.open_roll(self._new_tree_id(), parent=None)
-                self.sim.trace.record(
-                    self.now, T.K_INSTANCE_START, pid=self.node_id,
-                    tree=tree.tree, instance="rollback",
-                )
+                self._trace(T.K_INSTANCE_START, tree=tree.tree, instance="rollback")
 
         # Earliest interval containing a doomed receive from the requester.
         doomed_intervals = [
@@ -376,13 +367,9 @@ class ExtendedCheckpointProcess(CheckpointProcess):
                     was_open_root = state.is_root and not state.closed
                     self._forward_decision(state, "abort")
                     if was_open_root:
-                        self.sim.trace.record(
-                            self.now, T.K_INSTANCE_ABORT, pid=self.node_id, tree=tree_id
-                        )
+                        self._trace(T.K_INSTANCE_ABORT, tree=tree_id)
                 self._remember_decision(tree_id, "abort")
-            self.sim.trace.record(
-                self.now, T.K_CHKPT_ABORT, pid=self.node_id, seq=record.seq, tree=None
-            )
+            self._trace(T.K_CHKPT_ABORT, seq=record.seq, tree=None)
         if dropped:
             self._sync_union_set()
 
@@ -394,3 +381,18 @@ class ExtendedCheckpointProcess(CheckpointProcess):
 
     def _make_new_checkpoint(self, tree_id: TreeId) -> None:  # pragma: no cover
         raise NotImplementedError("extension uses _push_new_checkpoint")
+
+
+class ExtendedCheckpointProcess(CheckpointProcess):
+    """Adapter for :class:`ExtendedProtocolEngine` with a real pending stack."""
+
+    engine_class = ExtendedProtocolEngine
+
+    def _hydrate_engine(self, engine: ExtendedProtocolEngine) -> None:
+        # The real stack must exist before the engine starts emitting stack
+        # effects; created here because this runs inside the base __init__
+        # (the ``engine`` slot is still None, so the assignment stays local).
+        self.multi_store = MultiCheckpointStore(self.storage, namespace="mckpt")
+        super()._hydrate_engine(engine)
+        engine.multi_store.oldchkpt = self.multi_store.oldchkpt
+        engine.multi_store._pending = list(self.multi_store.pending)

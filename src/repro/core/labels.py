@@ -65,7 +65,7 @@ class ReceivedRecord:
 class LabelLedger:
     """Send/receive logs plus the interval counter ``n_i`` for one process."""
 
-    def __init__(self, pid: ProcessId):
+    def __init__(self, pid: ProcessId) -> None:
         self.pid = pid
         self.n: Seq = 0
         self.sent: List[SentRecord] = []

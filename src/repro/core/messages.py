@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.compat import slotted_dataclass
 from typing import Any, Optional, Tuple
 
-from repro.sim.event import PRIORITY_CHECKPOINT, PRIORITY_NORMAL, PRIORITY_ROLLBACK
+from repro.priorities import PRIORITY_CHECKPOINT, PRIORITY_NORMAL, PRIORITY_ROLLBACK
 from repro.types import Label, Seq, TreeId
 
 

@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class PartitionCoordinator:
     """Applies the pessimistic voting policy to partition events."""
 
-    def __init__(self, sim: "Simulation", votes: VoteRegistry):
+    def __init__(self, sim: "Simulation", votes: VoteRegistry) -> None:
         self.sim = sim
         self.votes = votes
         self._dormant: Set[ProcessId] = set()

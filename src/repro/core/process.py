@@ -1,75 +1,47 @@
-"""`CheckpointProcess` — a simulated process running the Leu-Bhargava daemon.
+"""`CheckpointProcess` — a kernel-bound adapter around the sans-IO engine.
 
-This class glues together the substrate (:class:`repro.sim.node.Node`), the
-bookkeeping (:class:`~repro.core.labels.LabelLedger`,
-:class:`~repro.core.trees.TreeRegistry`,
-:class:`~repro.stable.checkpoint.CheckpointStore`) and the protocol mixins
-(procedures b1-b4 in :mod:`~repro.core.checkpoint_protocol`, b5-b8 in
-:mod:`~repro.core.rollback_protocol`, Section 6 in
-:mod:`~repro.core.recovery`).
+The protocol itself lives in :class:`repro.core.engine.ProtocolEngine`; this
+class is the thin glue that lets a kernel (the discrete-event simulation via
+:class:`repro.sim.node.Node`, or the live asyncio runtime through the same
+``Node`` interface) drive that engine:
 
-Suspension model (paper 3.5.2 comments):
+* kernel callbacks (``on_start``, ``on_envelope``, timers, crash/recover,
+  failure notices) are translated into typed :mod:`repro.core.events` and fed
+  to ``engine.handle``;
+* the engine's typed :mod:`repro.core.effects` are interpreted eagerly, the
+  moment each is emitted, against the kernel: sends go to the network,
+  traces to the trace sink, ``SaveCheckpoint``/``CommitThrough`` to the real
+  :class:`~repro.stable.checkpoint.CheckpointStore`, timers to the node's
+  timer table (with the RNG jitter drawn from the kernel's seeded stream).
 
-* a pending ``newchkpt`` suspends *sending* normal messages only — receives
-  and local computation continue;
-* membership in an unfinished rollback instance suspends *sending and
-  receiving*; incoming normal messages are discarded;
-* application sends issued while sending is suspended are queued in the
-  output queue and flushed on resume (introduction: "the process saves
-  outgoing messages in the output queue for later transmission");
-* a rollback clears the output queue (queued messages belong to the undone
-  computation).
+Attribute access is forwarded to the engine, so tests and analysis code can
+keep reading ``proc.ledger`` / ``proc.chkpt_commit_set`` — and monkey-patch
+engine hooks through the process — without knowing about the split.  The
+adapter keeps only the kernel-facing state: the real stable store, the node
+timer table, and the ``crashed`` flag the kernel toggles.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Optional, Tuple
 
-from repro.core import messages as M
-from repro.core.app import Application, CounterApp
-from repro.core.checkpoint_protocol import ChkptProtocolMixin
-from repro.core.labels import LabelLedger
-from repro.core.recovery import RecoveryMixin
-from repro.core.rollback_protocol import RollProtocolMixin
-from repro.core.trees import TreeRegistry
-from repro.net.message import Envelope, control, normal
+from repro.core import effects as FX
+from repro.core import events as EV
+from repro.core.app import Application
+from repro.core.engine import ProtocolConfig, ProtocolEngine  # noqa: F401  (re-export)
+from repro.net.message import Envelope, control
 from repro.sim import trace as T
 from repro.sim.node import Node
 from repro.stable.checkpoint import CheckpointStore
 from repro.stable.storage import InMemoryStableStorage, StableStorage
-from repro.types import MessageId, ProcessId, SimTime, TreeId
+from repro.types import ProcessId, TreeId
 
 
-@dataclass
-class ProtocolConfig:
-    """Tunables for a :class:`CheckpointProcess`.
-
-    ``checkpoint_interval`` — period of the autonomous checkpoint timer
-    (condition b1); ``None`` disables the timer (tests and scripted scenarios
-    call :meth:`CheckpointProcess.initiate_checkpoint` directly).
-
-    ``failure_resilience`` — enable the Section 6 exception handlers (rules
-    1-6).  Off by default so the base algorithm can be studied in isolation.
-
-    ``ack_timeout`` / ``decision_timeout`` — how long a resilient process
-    waits on a peer before the failure handlers treat it as unresponsive;
-    only used when ``failure_resilience`` is on and complements the failure
-    detector (which is the primary trigger).
-
-    ``inquiry_retry_interval`` — how often a blocked process re-broadcasts a
-    rule-6 decision inquiry while no answer arrives.
-    """
-
-    checkpoint_interval: Optional[SimTime] = None
-    failure_resilience: bool = False
-    ack_timeout: SimTime = 30.0
-    decision_timeout: SimTime = 30.0
-    inquiry_retry_interval: SimTime = 10.0
-
-
-class CheckpointProcess(ChkptProtocolMixin, RollProtocolMixin, RecoveryMixin, Node):
+class CheckpointProcess(Node):
     """One process ``P_i`` plus its checkpoint/rollback daemon."""
+
+    #: Engine variant this adapter drives; subclasses override.
+    engine_class = ProtocolEngine
 
     def __init__(
         self,
@@ -77,283 +49,196 @@ class CheckpointProcess(ChkptProtocolMixin, RollProtocolMixin, RecoveryMixin, No
         config: Optional[ProtocolConfig] = None,
         app: Optional[Application] = None,
         storage: Optional[StableStorage] = None,
-    ):
+    ) -> None:
+        # ``engine`` must exist (as None) before anything else so that
+        # __setattr__/__getattr__ can probe it during construction.
+        object.__setattr__(self, "engine", None)
         super().__init__(pid)
-        self.config = config or ProtocolConfig()
-        self.app: Application = app or CounterApp(pid)
         self.storage = storage or InMemoryStableStorage()
         self.store = CheckpointStore(self.storage)
-        self.ledger = LabelLedger(pid)
-        self.trees = TreeRegistry()
-        self.chkpt_commit_set: set = set()
-        self.roll_restart_set: set = set()
-        self.output_queue: List[Tuple[ProcessId, Any]] = []
-        self.send_suspended = False   # pending newchkpt blocks normal sends
-        self.comm_suspended = False   # unfinished rollback blocks send+receive
-        # Decisions this process has observed, for Section 6 inquiries.
-        self.decisions_seen: Dict[TreeId, str] = {}
-        self._recovering = False
-        self._open_inquiries: Dict[TreeId, str] = {}
-        self._pending_spool: List[Envelope] = []
-        # Analysis-only archive of every committed checkpoint, in order.
-        self.committed_history: List[Any] = []
+        engine = self.engine_class(pid, config=config, app=app)
+        self._hydrate_engine(engine)
+        engine._sink = self._apply_effect
+        self.engine = engine
+
+    def _hydrate_engine(self, engine: ProtocolEngine) -> None:
+        """Mirror pre-existing stable state into the pure engine stores.
+
+        Matters only when the process is constructed over a non-empty
+        storage (e.g. file-backed restarts); effects are not emitted — the
+        real store already holds this state.
+        """
+        engine.store.oldchkpt = self.store.oldchkpt
+        engine.store.newchkpt = self.store.newchkpt
+        engine._persisted_commit_set = self.storage.get("commit_set", [])
+        engine._persisted_decisions = self.storage.get("decisions", [])
 
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Attribute forwarding: the engine owns the protocol state
     # ------------------------------------------------------------------
-    def on_start(self) -> None:
-        """Install the initial committed checkpoint and arm the b1 timer.
-
-        The birth checkpoint has sequence number 1 and the interval counter
-        starts there too, so the first interval's messages carry label 1 and
-        label 0 stays free as the "nothing received" sentinel (paper Fig. 2).
-        """
-        self.ledger.n = 1
-        initial = self.store.initialize(self.app.snapshot(), made_at=self.now)
-        initial.meta.update(self._ledger_manifest())
-        self.committed_history = [initial]
-        self._reset_checkpoint_timer()
-
-    def _ledger_manifest(self) -> Dict[str, Any]:
-        """Which live sends/receives the state being checkpointed reflects.
-
-        Stored in each checkpoint's ``meta`` purely for the analysis layer:
-        the C1/C2 checkers and the minimality theorems are verified against
-        these manifests (see :mod:`repro.analysis.consistency`).  The
-        protocol itself never reads them.
-        """
-        return {
-            "recv": sorted(
-                (r.src, r.msg_id.send_index) for r in self.ledger.live_receives()
-            ),
-            "sent": sorted(
-                (r.dst, r.msg_id.send_index) for r in self.ledger.live_sends()
-            ),
-        }
-
-    def _reset_checkpoint_timer(self) -> None:
-        """"After P_i makes a new checkpoint, its checkpoint timer is reset."""
-        if self.config.checkpoint_interval is None:
-            return
-        jitter = self.sim.rng.stream("ckpt-timer", self.node_id).uniform(0.0, 0.1)
-        self.set_timer(
-            "checkpoint",
-            self.config.checkpoint_interval + jitter,
-            self._checkpoint_timer_fired,
+    def __getattr__(self, name: str) -> Any:
+        engine = object.__getattribute__(self, "__dict__").get("engine")
+        if engine is not None:
+            try:
+                return getattr(engine, name)
+            except AttributeError:
+                pass
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
         )
 
-    def _checkpoint_timer_fired(self) -> None:
-        self.initiate_checkpoint()
-        self._reset_checkpoint_timer()
-
-    # ------------------------------------------------------------------
-    # Identifiers
-    # ------------------------------------------------------------------
-    def _new_tree_id(self) -> TreeId:
-        return TreeId(self.node_id, self.sim.ids.next(("tree", self.node_id)))
-
-    def _new_msg_id(self) -> MessageId:
-        return MessageId(self.node_id, self.sim.ids.next(("msg", self.node_id)))
-
-    # ------------------------------------------------------------------
-    # Suspension bookkeeping
-    # ------------------------------------------------------------------
-    @property
-    def can_send_normal(self) -> bool:
-        return not (self.crashed or self.send_suspended or self.comm_suspended)
-
-    def _suspend_send(self) -> None:
-        if not self.send_suspended:
-            self.send_suspended = True
-            self.sim.trace.record(self.now, T.K_SUSPEND_SEND, pid=self.node_id)
-
-    def _resume_send(self) -> None:
-        if self.send_suspended:
-            self.send_suspended = False
-            self.sim.trace.record(self.now, T.K_RESUME_SEND, pid=self.node_id)
-            self._flush_output_queue()
-
-    def _suspend_comm(self) -> None:
-        if not self.comm_suspended:
-            self.comm_suspended = True
-            self.sim.trace.record(self.now, T.K_SUSPEND_ALL, pid=self.node_id)
-
-    def _resume_comm(self) -> None:
-        if self.comm_suspended:
-            self.comm_suspended = False
-            self.sim.trace.record(self.now, T.K_RESUME_ALL, pid=self.node_id)
-            self._flush_output_queue()
-            self._drain_pending_spool()
-
-    def _flush_output_queue(self) -> None:
-        if not self.can_send_normal:
-            return
-        queued, self.output_queue = self.output_queue, []
-        for dst, payload in queued:
-            self._transmit_normal(dst, payload)
-
-    # ------------------------------------------------------------------
-    # Normal-message plane (workload-facing API)
-    # ------------------------------------------------------------------
-    def send_app_message(self, dst: ProcessId, payload: Any) -> None:
-        """Application-level send; queued if sending is currently suspended."""
-        if self.crashed:
-            return
-        if self.can_send_normal:
-            self._transmit_normal(dst, payload)
+    def __setattr__(self, name: str, value: Any) -> None:
+        d = object.__getattribute__(self, "__dict__")
+        engine = d.get("engine")
+        if name in d or engine is None or name == "engine":
+            object.__setattr__(self, name, value)
+        elif hasattr(engine, name):
+            # Protocol state (and monkey-patched hooks) live on the engine.
+            setattr(engine, name, value)
         else:
-            self.output_queue.append((dst, payload))
+            object.__setattr__(self, name, value)
 
-    def local_step(self) -> None:
-        """One unit of local application computation (never suspended)."""
-        if not self.crashed:
-            self.app.local_step()
-
-    def _transmit_normal(self, dst: ProcessId, payload: Any) -> None:
-        msg_id = self._new_msg_id()
-        label = self.ledger.record_send(msg_id, dst)
-        body = M.NormalBody(
-            payload=payload,
-            markers=self._current_markers(),
-            incarnation=self._current_incarnation(),
-        )
-        self.sim.trace.record(
-            self.now, T.K_SEND, pid=self.node_id,
-            msg_id=msg_id, dst=dst, label=label, payload=payload,
-        )
-        self.send(normal(self.node_id, dst, msg_id, label, body))
-
-    def _current_markers(self) -> tuple:
-        """Markers piggybacked on normal sends (empty in the base algorithm;
-        the Section 3.5.3 extension overrides this)."""
-        return ()
-
-    def _current_incarnation(self) -> int:
-        """Sender incarnation stamp (always 0 here; Tamir-Séquin overrides)."""
-        return 0
-
-    def _believed_down(self, pid: ProcessId) -> bool:
-        """Is ``pid`` currently believed failed by the status monitor?
-
-        Only meaningful with failure resilience on; without it the base
-        algorithm assumes no failures and never consults the detector.
-        """
-        if not self.config.failure_resilience:
-            return False
+    # ------------------------------------------------------------------
+    # Kernel callbacks -> engine events
+    # ------------------------------------------------------------------
+    def _detector_views(self) -> Tuple[Optional[frozenset], Optional[Tuple[ProcessId, ...]]]:
         detector = self.sim.failure_detector
-        return detector is not None and pid in detector.believed_down()
+        if detector is None:
+            return None, None
+        down = frozenset(detector.believed_down())
+        status_down = tuple(
+            pid for pid, operational in detector.status_snapshot().items() if not operational
+        )
+        return down, status_down
 
-    # ------------------------------------------------------------------
-    # Dispatch
-    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self.engine.handle(EV.Start(peers=tuple(self.sim.process_ids), at=self.now))
+
     def on_envelope(self, envelope: Envelope) -> None:
         if self.crashed:
             return
-        if envelope.is_normal:
-            self._on_normal(envelope)
+        down, status_down = self._detector_views()
+        self.engine.handle(
+            EV.Deliver(envelope=envelope, at=self.now, down=down, status_down=status_down)
+        )
+
+    def _timer_fired(self, name: str) -> None:
+        down, status_down = self._detector_views()
+        self.engine.handle(
+            EV.TimerFired(name=name, at=self.now, down=down, status_down=status_down)
+        )
+
+    def initiate_checkpoint(self) -> Optional[TreeId]:
+        """Condition b1: autonomously start a checkpointing instance."""
+        down, status_down = self._detector_views()
+        self.engine.handle(
+            EV.InitiateCheckpoint(at=self.now, down=down, status_down=status_down)
+        )
+        return self.engine.last_result
+
+    def initiate_rollback(self) -> Optional[TreeId]:
+        """Condition b5: a transient error was detected; roll back."""
+        down, status_down = self._detector_views()
+        self.engine.handle(
+            EV.InitiateRollback(at=self.now, down=down, status_down=status_down)
+        )
+        return self.engine.last_result
+
+    def send_app_message(self, dst: ProcessId, payload: Any) -> None:
+        self.engine.handle(EV.AppSend(dst=dst, payload=payload, at=self.now))
+
+    def local_step(self) -> None:
+        self.engine.handle(EV.LocalStep(at=self.now))
+
+    def on_crash(self) -> None:
+        self.engine.handle(EV.Fail(at=self.now))
+
+    def on_recover(self, stable_state: Any) -> None:
+        group = self.sim.network.spooler_for(self.node_id)
+        if group is None:
+            spooled = None
+            spool_decisions = None
         else:
-            self._dispatch_control(envelope.src, envelope.body)
-
-    def _on_normal(self, envelope: Envelope) -> None:
-        src, label, msg_id = envelope.src, envelope.label, envelope.msg_id
-        if self.comm_suspended:
-            # "The suspend statement causes all subsequent incoming messages
-            # to be discarded."
-            self.sim.trace.record(
-                self.now, T.K_DISCARD, pid=self.node_id,
-                msg_id=msg_id, src=src, label=label, reason="roll_suspended",
+            spooled = tuple(group.drain(self.sim.is_alive))
+            seen = group.decisions_seen(self.sim.is_alive)
+            spool_decisions = None if seen is None else tuple(seen)
+        down, status_down = self._detector_views()
+        self.engine.handle(
+            EV.Recover(
+                at=self.now,
+                down=down,
+                status_down=status_down,
+                spooled=spooled,
+                spool_decisions=spool_decisions,
             )
-            return
-        if self.ledger.should_discard(src, label):
-            # The sender undid this message before we ever consumed it.
-            self.sim.trace.record(
-                self.now, T.K_DISCARD, pid=self.node_id,
-                msg_id=msg_id, src=src, label=label, reason="undone_in_transit",
-            )
-            return
-        body: M.NormalBody = envelope.body
-        self._before_consume_normal(src, body)
-        self.ledger.record_receive(msg_id, src, label)
-        self.sim.trace.record(
-            self.now, T.K_RECEIVE, pid=self.node_id, msg_id=msg_id, src=src, label=label
         )
-        self.app.handle_message(src, body.payload)
 
-    def _before_consume_normal(self, src: ProcessId, body: M.NormalBody) -> None:
-        """Extension hook: act on piggybacked markers before consuming."""
-
-    def _dispatch_control(self, src: ProcessId, body: Any) -> None:
-        self.sim.trace.record(
-            self.now, T.K_CTRL_RECEIVE, pid=self.node_id,
-            src=src, msg_type=body.kind, tree=getattr(body, "tree", None),
+    def on_failure_notice(self, pid: ProcessId) -> None:
+        down, status_down = self._detector_views()
+        self.engine.handle(
+            EV.FailureNotice(pid=pid, at=self.now, down=down, status_down=status_down)
         )
-        if isinstance(body, M.ChkptReq):
-            self._on_chkpt_req(src, body)
-        elif isinstance(body, M.ChkptAck):
-            self._on_chkpt_ack(src, body)
-        elif isinstance(body, M.ReadyToCommit):
-            self._on_ready_to_commit(src, body)
-        elif isinstance(body, M.Commit):
-            self._on_commit(src, body)
-        elif isinstance(body, M.Abort):
-            self._on_abort(src, body)
-        elif isinstance(body, M.RollReq):
-            self._on_roll_req(src, body)
-        elif isinstance(body, M.RollAck):
-            self._on_roll_ack(src, body)
-        elif isinstance(body, M.RollComplete):
-            self._on_roll_complete(src, body)
-        elif isinstance(body, M.Restart):
-            self._on_restart(src, body)
-        elif isinstance(body, M.DecisionInquiry):
-            self._on_decision_inquiry(src, body)
-        elif isinstance(body, M.DecisionReply):
-            self._on_decision_reply(src, body)
 
-    def _send_control(self, dst: ProcessId, body: Any) -> None:
-        fields = {"dst": dst, "msg_type": body.kind, "tree": getattr(body, "tree", None)}
-        if hasattr(body, "positive"):
-            fields["positive"] = body.positive
-        self.sim.trace.record(self.now, T.K_CTRL_SEND, pid=self.node_id, **fields)
-        # Decisions are also observed by spoolers so restarting processes can
-        # learn them (Section 6, rule 3).
-        if isinstance(body, (M.Commit, M.Abort, M.Restart)):
-            self.sim.network.observe_decision((body.kind, body.tree))
-        self.send(control(self.node_id, dst, body))
+    def on_recovery_notice(self, pid: ProcessId) -> None:
+        self.engine.handle(EV.RecoveryNotice(pid=pid, at=self.now))
 
     # ------------------------------------------------------------------
-    # Shared protocol helpers
+    # Engine effects -> kernel actions
     # ------------------------------------------------------------------
-    def _remember_decision(self, tree_id: TreeId, decision: str) -> None:
-        """Record an observed instance decision for Section 6 inquiries.
-
-        With failure resilience on, the record is also persisted: a decision
-        a process applied to its stable checkpoints must survive its own
-        crash, or a recovering peer's inquiry could go unanswered forever
-        while the decided state lives on.
-        """
-        if tree_id is None or tree_id in self.decisions_seen:
-            return
-        self.decisions_seen[tree_id] = decision
-        if self.config.failure_resilience:
-            self.storage.put(
-                "decisions",
-                [
-                    [t.initiator, t.initiation_seq, d]
-                    for t, d in self.decisions_seen.items()
-                ],
+    def _apply_effect(self, eff: FX.Effect) -> None:
+        if isinstance(eff, FX.EmitTrace):
+            self.sim.trace.record(self.now, eff.kind, pid=self.node_id, **eff.fields)
+        elif isinstance(eff, FX.Send):
+            self.send(eff.envelope)
+        elif isinstance(eff, FX.SetTimer):
+            delay = eff.delay
+            if eff.jitter is not None:
+                stream, lo, hi = eff.jitter
+                delay += self.sim.rng.stream(stream, self.node_id).uniform(lo, hi)
+            self.set_timer(
+                eff.name,
+                delay,
+                lambda name=eff.name: self._timer_fired(name),
+                priority=eff.priority,
             )
+        elif isinstance(eff, FX.CancelTimer):
+            self.cancel_timer(eff.name)
+        elif isinstance(eff, FX.SaveCheckpoint):
+            self._apply_save_checkpoint(eff)
+        elif isinstance(eff, FX.CommitThrough):
+            if eff.store == FX.SLOT:
+                self.store.commit_new()
+            else:
+                self.multi_store.commit_through(eff.seq)
+        elif isinstance(eff, FX.DiscardCheckpoints):
+            if eff.store == FX.SLOT:
+                self.store.discard_new()
+            else:
+                self.multi_store.discard_from(eff.from_seq)
+        elif isinstance(eff, FX.PersistMeta):
+            self.storage.put(eff.key, eff.value)
+        elif isinstance(eff, FX.ObserveDecision):
+            self.sim.network.observe_decision((eff.kind, eff.tree))
+        elif isinstance(eff, FX.Redeliver):
+            self.sim.network.redeliver(eff.envelope)
+        elif isinstance(eff, FX.Broadcast):
+            body = eff.body
+            for pid in self.sim.process_ids:
+                if pid != self.node_id and self.sim.is_alive(pid):
+                    self.sim.trace.record(
+                        self.now, T.K_CTRL_SEND, pid=self.node_id,
+                        dst=pid, msg_type=body.kind, tree=getattr(body, "tree", None),
+                    )
+                    self.send(control(self.node_id, pid, body))
+        elif isinstance(eff, FX.Rollback):
+            pass  # informational; the engine already restored its app state
 
-    def _load_decisions(self) -> Dict[TreeId, str]:
-        raw = self.storage.get("decisions", [])
-        return {TreeId(i, s): d for i, s, d in raw}
-
-    def _persist_commit_set(self) -> None:
-        """Keep chkpt_commit_set recoverable: rule 3 needs it after a crash."""
-        self.storage.put(
-            "commit_set", sorted((t.initiator, t.initiation_seq) for t in self.chkpt_commit_set)
-        )
-
-    def _load_commit_set(self) -> set:
-        raw = self.storage.get("commit_set", [])
-        return {TreeId(i, s) for i, s in raw}
+    def _apply_save_checkpoint(self, eff: FX.SaveCheckpoint) -> None:
+        store = self.store if eff.store == FX.SLOT else self.multi_store
+        if eff.kind == "initial":
+            record = store.initialize(eff.state, made_at=eff.made_at)
+            record.meta.update(eff.meta)
+        elif eff.kind == "new":
+            store.take_new(eff.seq, eff.state, made_at=eff.made_at, **eff.meta)
+        else:  # "push" — extension stack entry
+            store.push(eff.seq, eff.state, made_at=eff.made_at, **eff.meta)

@@ -4,8 +4,11 @@ The paper's six rules resolve the blocking that a fail-stop crash can cause
 in either protocol.  Triggers:
 
 * a failure-detector notice about a peer (rules 1, 2, 4, 5, 6) — delivered
-  through ``Node.on_failure_notice``;
-* this process restarting after a crash (rule 3) — ``Node.on_recover``.
+  through a :class:`repro.core.events.FailureNotice` event;
+* this process restarting after a crash (rule 3) — a
+  :class:`repro.core.events.Recover` event, which carries the spooled
+  envelopes and spooler-observed decisions so the pure engine never talks to
+  a spooler group itself.
 
 Rule summary → implementation:
 
@@ -36,15 +39,17 @@ base algorithm can be studied without them.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Iterable, Optional
 
+from repro import tracekinds as T
+from repro.core import effects as FX
+from repro.core import events as EV
 from repro.core import messages as M
-from repro.sim import trace as T
 from repro.types import ProcessId, TreeId
 
 
 class RecoveryMixin:
-    """Section 6 exception handlers.  Mixed into ``CheckpointProcess``."""
+    """Section 6 exception handlers.  Mixed into ``ProtocolEngine``."""
 
     # ------------------------------------------------------------------
     # Crash / restart (rule 3)
@@ -66,13 +71,14 @@ class RecoveryMixin:
         self._open_inquiries = {}
         self._pending_spool = []
 
-    def on_recover(self, stable_state: Any) -> None:
+    def on_recover(self, event: EV.Recover) -> None:
         """Rule 3: resolve the uncommitted checkpoint, then roll back."""
         self._recovering = True
+        self._spool_decisions = event.spool_decisions
         self.app.restore((self.store.newchkpt or self.store.oldchkpt).state)
         self.chkpt_commit_set = self._load_commit_set()
         self.decisions_seen = self._load_decisions()
-        self._collect_spool()
+        self._collect_spool(event.spooled)
 
         if not self.store.has_new:
             self._finish_recovery()
@@ -96,10 +102,7 @@ class RecoveryMixin:
         decision = self._decision_from_spoolers(others)
         if decision == "commit":
             self.committed_history.append(self.store.commit_new())
-            self.sim.trace.record(
-                self.now, T.K_CHKPT_COMMIT, pid=self.node_id,
-                seq=self.store.oldchkpt.seq, tree=None,
-            )
+            self._trace(T.K_CHKPT_COMMIT, seq=self.store.oldchkpt.seq, tree=None)
             self.chkpt_commit_set = set()
             self._persist_commit_set()
             self._finish_recovery()
@@ -118,9 +121,7 @@ class RecoveryMixin:
         doomed = self.store.newchkpt
         if doomed is not None:
             self.store.discard_new()
-            self.sim.trace.record(
-                self.now, T.K_CHKPT_ABORT, pid=self.node_id, seq=doomed.seq, tree=None
-            )
+            self._trace(T.K_CHKPT_ABORT, seq=doomed.seq, tree=None)
         self.chkpt_commit_set = set()
         self._persist_commit_set()
 
@@ -130,31 +131,29 @@ class RecoveryMixin:
         self._recovering = False
         self._cancel_all_inquiries()
         self.initiate_rollback()
-        # Crash notices broadcast while we were down never reached us: ask
-        # the status monitor (assumption c) which peers are still down and
-        # apply the failure rules — in particular rule 2, so the rollback we
-        # just initiated does not wait on a dead process's acknowledgement.
-        detector = self.sim.failure_detector
-        if detector is not None:
-            for pid, operational in detector.status_snapshot().items():
-                if pid != self.node_id and not operational:
+        # Crash notices broadcast while we were down never reached us: the
+        # status monitor's view (assumption c) rides on the Recover event;
+        # apply the failure rules for each peer still down — in particular
+        # rule 2, so the rollback we just initiated does not wait on a dead
+        # process's acknowledgement.
+        if self._status_down is not None:
+            for pid in self._status_down:
+                if pid != self.node_id:
                     self.on_failure_notice(pid)
         if not self.comm_suspended:
             self._drain_pending_spool()
         self._reset_checkpoint_timer()
 
-    def _decision_from_spoolers(self, instances) -> Optional[str]:
+    def _decision_from_spoolers(self, instances: Iterable[TreeId]) -> Optional[str]:
         """Commit/abort verdict recorded by this process's live spoolers.
 
         A single ``commit`` for any of ``instances`` (the foreign-rooted
         instances sharing our checkpoint) commits it; an ``abort`` for every
         one of them aborts it; otherwise no verdict (returns ``None`` — also
-        when all spooler replicas are currently down).
+        when the Recover event carried no decisions: no spooler group, or
+        all replicas currently down).
         """
-        group = self.sim.network.spooler_for(self.node_id)
-        if group is None:
-            return None
-        seen = group.decisions_seen(self.sim.is_alive)
+        seen = self._spool_decisions
         if seen is None:
             return None
         verdicts = {tree: kind for kind, tree in seen}
@@ -167,12 +166,11 @@ class RecoveryMixin:
     # ------------------------------------------------------------------
     # Spooled normal messages
     # ------------------------------------------------------------------
-    def _collect_spool(self) -> None:
-        group = self.sim.network.spooler_for(self.node_id)
-        if group is None:
+    def _collect_spool(self, spooled: Optional[Iterable] = None) -> None:
+        if spooled is None:
             self._pending_spool = []
             return
-        envelopes = group.drain(self.sim.is_alive)
+        envelopes = list(spooled)
         # Most spooled control traffic is stale (the peers applied their
         # failure handlers for us; decisions were recorded separately via
         # observe_decision) — except roll_reqs: they carry the discard
@@ -190,7 +188,7 @@ class RecoveryMixin:
         pending = getattr(self, "_pending_spool", [])
         self._pending_spool = []
         for envelope in pending:
-            self.sim.network.redeliver(envelope)
+            self._emit(FX.Redeliver(envelope=envelope))
 
     # ------------------------------------------------------------------
     # Peer-failure notices (rules 1, 2, 4, 5, 6)
@@ -262,12 +260,10 @@ class RecoveryMixin:
     def _broadcast_inquiry(self, tree_id: TreeId, decision_kind: str) -> None:
         if tree_id not in getattr(self, "_open_inquiries", {}):
             return
-        for pid in self.sim.process_ids:
-            if pid != self.node_id and self.sim.is_alive(pid):
-                self._send_control(
-                    pid, M.DecisionInquiry(tree=tree_id, decision_kind=decision_kind)
-                )
-        self.set_timer(
+        self._emit(
+            FX.Broadcast(body=M.DecisionInquiry(tree=tree_id, decision_kind=decision_kind))
+        )
+        self._set_timer(
             f"inquiry-{tree_id}",
             self.config.inquiry_retry_interval,
             lambda: self._broadcast_inquiry(tree_id, decision_kind),

@@ -1,6 +1,6 @@
 """The rollback half of the algorithm: procedures b5-b8 (paper 3.5.2).
 
-Mixin over :class:`repro.core.process.CheckpointProcess`.  The paper gives
+Pure mixin over :class:`repro.core.engine.EngineBase`.  The paper gives
 these procedures the highest priority; the control messages involved carry
 ``PRIORITY_ROLLBACK`` so the kernel processes them before same-instant
 checkpoint traffic.
@@ -21,16 +21,17 @@ Faithfulness deviations (argued in DESIGN.md §5):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro import tracekinds as T
+from repro.core import effects as FX
 from repro.core import messages as M
 from repro.core.trees import RollTreeState
-from repro.sim import trace as T
 from repro.types import CheckpointRecord, ProcessId, TreeId
 
 
 class RollProtocolMixin:
-    """Procedures b5-b8.  Mixed into ``CheckpointProcess``."""
+    """Procedures b5-b8.  Mixed into ``ProtocolEngine``."""
 
     # ------------------------------------------------------------------
     # b5 — roll_initiation
@@ -45,9 +46,7 @@ class RollProtocolMixin:
         if self.crashed:
             return None
         tree_id = self._new_tree_id()
-        self.sim.trace.record(
-            self.now, T.K_INSTANCE_START, pid=self.node_id, tree=tree_id, instance="rollback"
-        )
+        self._trace(T.K_INSTANCE_START, tree=tree_id, instance="rollback")
         tree = self.trees.open_roll(tree_id, parent=None)
 
         target = self.store.newchkpt or self.store.oldchkpt
@@ -94,15 +93,14 @@ class RollProtocolMixin:
             tree = self.trees.roll[req.tree]
             if tree.closed:
                 tree = self.trees.open_roll(self._new_tree_id(), parent=None)
-                self.sim.trace.record(
-                    self.now, T.K_INSTANCE_START, pid=self.node_id,
-                    tree=tree.tree, instance="rollback",
-                )
+                self._trace(T.K_INSTANCE_START, tree=tree.tree, instance="rollback")
 
         self._rollback_for_request(src, req, tree)
         self._roll_maybe_complete(tree)
 
-    def _undone_notice_for(self, requester: ProcessId, label: int):
+    def _undone_notice_for(
+        self, requester: ProcessId, label: int
+    ) -> Optional[Tuple[TreeId, int, int]]:
         """Close the neg_ack/roll_req race on non-FIFO channels.
 
         A checkpoint request referencing a message we have already undone is
@@ -175,17 +173,13 @@ class RollProtocolMixin:
                 was_open_root = state.is_root and not state.closed
                 self._forward_decision(state, "abort")
                 if was_open_root:
-                    self.sim.trace.record(
-                        self.now, T.K_INSTANCE_ABORT, pid=self.node_id, tree=other
-                    )
+                    self._trace(T.K_INSTANCE_ABORT, tree=other)
             self._remember_decision(other, "abort")
         self.chkpt_commit_set = set()
         self._persist_commit_set()
         if doomed is not None:
             self.store.discard_new()
-            self.sim.trace.record(
-                self.now, T.K_CHKPT_ABORT, pid=self.node_id, seq=doomed.seq, tree=None
-            )
+            self._trace(T.K_CHKPT_ABORT, seq=doomed.seq, tree=None)
         self._resume_send()  # the checkpoint suspension lapses with newchkpt
 
     # ------------------------------------------------------------------
@@ -204,11 +198,10 @@ class RollProtocolMixin:
         """
         assert target is not None, "a process always has a committed checkpoint"
         self.app.restore(target.state)
+        self._emit(FX.Rollback(to_seq=target.seq, tree=tree.tree))
         undone_sends, undone_receives = self.ledger.undo_for_rollback(target.seq)
-        self.sim.trace.record(
-            self.now,
+        self._trace(
             T.K_ROLLBACK,
-            pid=self.node_id,
             to_seq=target.seq,
             tree=tree.tree,
             target="newchkpt" if not target.committed else "oldchkpt",
@@ -216,14 +209,12 @@ class RollProtocolMixin:
             undone_receives=len(undone_receives),
         )
         for record in undone_sends:
-            self.sim.trace.record(
-                self.now, T.K_UNDO_SEND, pid=self.node_id,
-                msg_id=record.msg_id, dst=record.dst, label=record.label,
+            self._trace(
+                T.K_UNDO_SEND, msg_id=record.msg_id, dst=record.dst, label=record.label
             )
         for record in undone_receives:
-            self.sim.trace.record(
-                self.now, T.K_UNDO_RECEIVE, pid=self.node_id,
-                msg_id=record.msg_id, src=record.src, label=record.label,
+            self._trace(
+                T.K_UNDO_RECEIVE, msg_id=record.msg_id, src=record.src, label=record.label
             )
         # Output-queue entries were generated after the restored state; they
         # are part of the undone computation and must never be transmitted.
@@ -301,9 +292,7 @@ class RollProtocolMixin:
             self._send_control(child, M.Restart(tree=tree.tree))
         self._remember_decision(tree.tree, "restart")
         if tree.is_root:
-            self.sim.trace.record(
-                self.now, T.K_INSTANCE_COMMIT, pid=self.node_id, tree=tree.tree
-            )
+            self._trace(T.K_INSTANCE_COMMIT, tree=tree.tree)
         tree.closed = True
         self._release_roll_instance(tree.tree)
 
@@ -326,7 +315,5 @@ class RollProtocolMixin:
         self.roll_restart_set.discard(tree_id)
         if not self.roll_restart_set:
             new_interval = self.ledger.advance()
-            self.sim.trace.record(
-                self.now, T.K_RESTART, pid=self.node_id, new_interval=new_interval
-            )
+            self._trace(T.K_RESTART, new_interval=new_interval)
             self._resume_comm()

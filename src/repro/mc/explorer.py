@@ -1,0 +1,161 @@
+"""Stateless depth-first exploration of choice interleavings.
+
+The search tree's nodes are cluster states, its edges the enabled choices
+(message deliveries and scripted initiations).  Engines are not cheaply
+copyable, so the search is *stateless*: each visited node is reconstructed
+by replaying its choice prefix from the initial state — determinism of the
+sans-IO engines makes the replay exact, and the same mechanism later
+replays and shrinks counterexamples.
+
+Pruning is a classic sleep set [Godson]: two choices commute when they
+target distinct processes (each mutates only its target engine and appends
+independently-keyed sends), so of two commuting siblings explored in order
+``a, b``, the ``b``-subtree needn't re-explore ``a`` first — ``a`` enters
+``b``'s sleep set and the equivalent interleaving is pruned.  Bounds on
+depth and visited states keep the search finite even for scenarios whose
+full interleaving space is astronomically large; truncation is counted and
+reported, never silent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.compat import slotted_dataclass
+from repro.core.engine import ProtocolEngine
+from repro.errors import ConsistencyViolation
+from repro.mc.harness import ChoiceKey, ClusterHarness
+from repro.mc.invariants import check_quiescent_state, check_step
+from repro.mc.scenario import Scenario
+
+
+class InvariantViolation(Exception):
+    """An invariant failed; carries the schedule that reached the state."""
+
+    def __init__(self, schedule: List[ChoiceKey], cause: ConsistencyViolation) -> None:
+        super().__init__(f"{cause} (after {len(schedule)} choices)")
+        self.schedule = list(schedule)
+        self.cause = cause
+
+
+@slotted_dataclass()
+class ExploreResult:
+    """Counters and outcome of one exploration."""
+
+    explored: int = 0  # states visited (replayed and checked)
+    terminal: int = 0  # quiescent states reached
+    pruned: int = 0  # sibling subtrees skipped by the sleep set
+    truncated: int = 0  # states cut off by the depth or state bound
+    violation: Optional[InvariantViolation] = None
+
+    @property
+    def exhaustive(self) -> bool:
+        """True when no bound fired: every interleaving (up to commutation)
+        of the scenario was visited."""
+        return self.truncated == 0 and self.violation is None
+
+
+class Explorer:
+    """Depth-first interleaving search with sleep-set pruning."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        engine_class: Optional[Callable[..., ProtocolEngine]] = None,
+        depth_bound: int = 20,
+        max_states: int = 200_000,
+        por: bool = True,
+    ) -> None:
+        if depth_bound < 1:
+            raise ValueError("depth_bound must be >= 1")
+        if max_states < 1:
+            raise ValueError("max_states must be >= 1")
+        self.scenario = scenario
+        self.engine_class = engine_class
+        self.depth_bound = depth_bound
+        self.max_states = max_states
+        self.por = por
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self, schedule: List[ChoiceKey]) -> ClusterHarness:
+        """Reconstruct the state after ``schedule`` (skipping stale keys).
+
+        Skipping disabled keys makes shrunk schedules — where removed
+        choices may disable later ones — replayable without bookkeeping.
+        """
+        harness = ClusterHarness(self.scenario, engine_class=self.engine_class)
+        for key in schedule:
+            if harness.is_enabled(key):
+                harness.execute(key)
+        return harness
+
+    def check(self, harness: ClusterHarness) -> None:
+        """Run the state invariants (full battery at quiescence)."""
+        if harness.quiescent:
+            check_quiescent_state(harness)
+        else:
+            check_step(harness)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def run(self) -> ExploreResult:
+        result = ExploreResult()
+        try:
+            self._dfs([], set(), result)
+        except InvariantViolation as violation:
+            result.violation = violation
+        return result
+
+    def _dfs(
+        self,
+        schedule: List[ChoiceKey],
+        sleep: Set[ChoiceKey],
+        result: ExploreResult,
+    ) -> None:
+        if result.explored >= self.max_states:
+            result.truncated += 1
+            return
+        harness = self.replay(schedule)
+        result.explored += 1
+        try:
+            self.check(harness)
+        except ConsistencyViolation as cause:
+            raise InvariantViolation(schedule, cause) from cause
+
+        enabled = harness.enabled()
+        if not enabled:
+            result.terminal += 1
+            return
+        if len(schedule) >= self.depth_bound:
+            result.truncated += 1
+            return
+
+        explored_here: List[ChoiceKey] = []
+        for key in enabled:
+            if key in sleep:
+                result.pruned += 1
+                continue
+            if self.por:
+                child_sleep = {
+                    k for k in sleep if self._commutes(harness, k, key)
+                } | {k for k in explored_here if self._commutes(harness, k, key)}
+            else:
+                child_sleep = set()
+            schedule.append(key)
+            self._dfs(schedule, child_sleep, result)
+            schedule.pop()
+            explored_here.append(key)
+
+    @staticmethod
+    def _commutes(harness: ClusterHarness, a: ChoiceKey, b: ChoiceKey) -> bool:
+        """Choices commute iff they mutate distinct engines.
+
+        A delivery (or initiation) runs one engine's handler: it mutates
+        that engine and *appends* sends under per-channel keys that do not
+        depend on the other choice having run.  Distinct targets therefore
+        reach the same joint state in either order.
+        """
+        return harness.target(a) != harness.target(b)

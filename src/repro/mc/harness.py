@@ -1,0 +1,146 @@
+"""Kernel-less cluster of pure protocol engines for model checking.
+
+The harness owns N engines and the set of in-flight messages between them.
+There is no scheduler, no clock, no network model: *time* is a step counter
+and *delivery* is an explicit choice.  Because the engines are sans-IO,
+replaying the same choice sequence reproduces the exact same cluster state —
+the property the explorer's stateless depth-first search and the
+counterexample shrinker both rest on.
+
+Choice keys are stable across interleavings:
+
+* ``("m", src, dst, k)`` — deliver the ``k``-th message sent on the
+  ``src -> dst`` channel (per-channel counters, so a message's key does not
+  depend on what the *other* processes did first);
+* ``("a", i)`` — fire the scenario's ``i``-th scripted initiation.
+
+Any key order models an arbitrary non-FIFO network; FIFO is the special
+case where ``("m", s, d, k)`` is always chosen before ``("m", s, d, k+1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core import effects as FX
+from repro.core import events as EV
+from repro.core.engine import ProtocolConfig, ProtocolEngine
+from repro.errors import SimulationError
+from repro.mc.scenario import Scenario
+from repro.net.message import Envelope
+from repro.sim.trace import Trace
+from repro.types import ProcessId
+
+#: A choice key — see module docstring.
+ChoiceKey = Tuple[Any, ...]
+
+
+class ClusterHarness:
+    """N pure engines + the in-flight message set; one step per choice."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        engine_class: Optional[Callable[..., ProtocolEngine]] = None,
+    ) -> None:
+        self.scenario = scenario
+        cls = engine_class or ProtocolEngine
+        # No checkpoint timer: every initiation is an explicit choice, so
+        # the explorer controls *all* nondeterminism.
+        config = ProtocolConfig(checkpoint_interval=None)
+        self.engines: Dict[ProcessId, ProtocolEngine] = {
+            pid: cls(pid, config=config) for pid in range(scenario.n)
+        }
+        self.in_flight: Dict[ChoiceKey, Envelope] = {}
+        self._channel_counts: Dict[Tuple[ProcessId, ProcessId], int] = {}
+        self._pending_actions: Dict[int, Tuple[ProcessId, str]] = dict(
+            enumerate(scenario.actions)
+        )
+        self.step = 0
+        self.trace = Trace()  # real trace, so the analysis layer applies as-is
+        self._sink_pid: Optional[ProcessId] = None
+        for pid, engine in self.engines.items():
+            engine._sink = lambda eff, pid=pid: self._apply(pid, eff)
+
+        peers = tuple(range(scenario.n))
+        for pid in sorted(self.engines):
+            self._handle(pid, EV.Start(peers=peers, at=0.0))
+        for src, dst, payload in scenario.setup:
+            self._handle(src, EV.AppSend(dst=dst, payload=payload, at=0.0))
+
+    # ------------------------------------------------------------------
+    # Choices
+    # ------------------------------------------------------------------
+    def enabled(self) -> List[ChoiceKey]:
+        """Every currently executable choice, in deterministic order."""
+        keys: List[ChoiceKey] = sorted(self.in_flight)
+        keys.extend(("a", i) for i in sorted(self._pending_actions))
+        return keys
+
+    def is_enabled(self, key: ChoiceKey) -> bool:
+        if key[0] == "a":
+            return key[1] in self._pending_actions
+        return key in self.in_flight
+
+    def target(self, key: ChoiceKey) -> ProcessId:
+        """The process a choice mutates — the commutation criterion."""
+        if key[0] == "a":
+            return self._pending_actions[key[1]][0]
+        return key[2]  # ("m", src, dst, k)
+
+    def execute(self, key: ChoiceKey) -> None:
+        self.step += 1
+        at = float(self.step)
+        if key[0] == "a":
+            pid, op = self._pending_actions.pop(key[1])
+            event = (
+                EV.InitiateCheckpoint(at=at)
+                if op == "checkpoint"
+                else EV.InitiateRollback(at=at)
+            )
+            self._handle(pid, event)
+        else:
+            envelope = self.in_flight.pop(key)
+            self._handle(envelope.dst, EV.Deliver(envelope=envelope, at=at))
+
+    @property
+    def quiescent(self) -> bool:
+        """No choice left: every message delivered, every action fired."""
+        return not self.in_flight and not self._pending_actions
+
+    # ------------------------------------------------------------------
+    # Effect interpretation (the whole "kernel")
+    # ------------------------------------------------------------------
+    def _handle(self, pid: ProcessId, event: EV.Event) -> None:
+        self._sink_pid = pid
+        self.engines[pid].handle(event)
+
+    def _apply(self, pid: ProcessId, eff: FX.Effect) -> None:
+        if isinstance(eff, FX.Send):
+            env = eff.envelope
+            k = self._channel_counts.get((env.src, env.dst), 0)
+            self._channel_counts[(env.src, env.dst)] = k + 1
+            self.in_flight[("m", env.src, env.dst, k)] = env
+        elif isinstance(eff, FX.EmitTrace):
+            self.trace.record(float(self.step), eff.kind, pid=pid, **eff.fields)
+        elif isinstance(eff, (FX.SetTimer, FX.CancelTimer)):
+            # Timers never fire here: the checkpoint timer is disabled and
+            # the failure rules (the only other timer users) are off in the
+            # failure-free scenarios the explorer runs.
+            pass
+        elif isinstance(
+            eff,
+            (
+                FX.SaveCheckpoint,
+                FX.CommitThrough,
+                FX.DiscardCheckpoints,
+                FX.PersistMeta,
+                FX.ObserveDecision,
+                FX.Rollback,
+            ),
+        ):
+            # The engines' pure store mirrors are authoritative; there is no
+            # stable storage, spooler, or app host behind them.
+            pass
+        else:  # Redeliver / Broadcast need failure machinery we do not model
+            raise SimulationError(f"effect not supported by the mc harness: {eff!r}")

@@ -1,0 +1,85 @@
+"""Invariants the explorer asserts, built on the :mod:`repro.analysis` oracles.
+
+Two tiers:
+
+* :func:`check_step` runs after **every** executed choice — cheap global
+  properties that must hold in any reachable state.  Today that is 2PC
+  all-or-nothing: no two processes may ever apply opposite decisions
+  (commit vs. abort) for the same checkpoint instance.
+* :func:`check_quiescent_state` runs at **quiescent** states (no message in
+  flight, no initiation pending) — the full recovery-line battery:
+  termination (Theorem 1), C1 and no-dangling-receives (Definitions 2-4 /
+  Theorem 2), application-state agreement, and — when the run contains a
+  single instance, the theorems' isolation precondition — checkpoint or
+  rollback minimality (Theorems 3/4).
+
+All checkers raise :class:`repro.errors.ConsistencyViolation`; the explorer
+converts that into a schedule-carrying counterexample.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis import (
+    check_app_states,
+    check_checkpoint_minimality,
+    check_quiescent,
+    check_recovery_line,
+    check_rollback_minimality,
+    reconstruct_trees,
+)
+from repro.errors import ConsistencyViolation
+from repro.mc.harness import ClusterHarness
+from repro.types import TreeId
+
+
+def check_step(harness: ClusterHarness) -> None:
+    """Invariants of every reachable state."""
+    check_all_or_nothing(harness)
+
+
+def check_all_or_nothing(harness: ClusterHarness) -> None:
+    """2PC atomicity: a checkpoint instance never commits at one process
+    and aborts at another."""
+    verdicts: Dict[TreeId, Dict[str, List[int]]] = {}
+    for pid, engine in harness.engines.items():
+        for tree_id, decision in engine.decisions_seen.items():
+            if decision in ("commit", "abort"):
+                verdicts.setdefault(tree_id, {}).setdefault(decision, []).append(pid)
+    for tree_id, by_decision in verdicts.items():
+        if "commit" in by_decision and "abort" in by_decision:
+            raise ConsistencyViolation(
+                "2PC",
+                f"instance {tree_id} committed at P{by_decision['commit']} "
+                f"but aborted at P{by_decision['abort']}",
+            )
+
+
+def check_quiescent_state(harness: ClusterHarness) -> None:
+    """The full battery, valid once the cluster has quiesced."""
+    engines = list(harness.engines.values())
+    check_step(harness)
+    check_quiescent(engines)
+    check_recovery_line(engines)
+    check_app_states(engines)
+    _check_minimality_if_isolated(harness)
+
+
+def _check_minimality_if_isolated(harness: ClusterHarness) -> None:
+    """Theorems 3/4 under their isolation precondition.
+
+    Minimality is only guaranteed for instances that do not interfere, so
+    it is asserted when the run contained exactly one instance; scenarios
+    with concurrent instances are covered by the other invariants.
+    """
+    trees = reconstruct_trees(harness.trace)
+    if len(trees) != 1:
+        return
+    (tree_id, view), = trees.items()
+    if view.kind == "checkpoint" and view.decided == "commit":
+        check_checkpoint_minimality(
+            harness.trace, harness.engines.values(), tree_id
+        )
+    elif view.kind == "rollback":
+        check_rollback_minimality(harness.trace, tree_id)

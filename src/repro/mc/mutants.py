@@ -1,0 +1,81 @@
+"""Deliberately broken engine variants ("mutants") for explorer validation.
+
+A model checker that has never caught a bug is untrustworthy.  Each mutant
+here deletes one load-bearing guard from the protocol; the explorer must
+find an interleaving that violates an invariant, and the shrinker must
+reduce it to a small replayable schedule.  The CI quick mode runs one
+mutant as a self-test of the whole find-shrink-replay pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core import messages as M
+from repro.core.engine import ProtocolEngine
+from repro.types import ProcessId
+
+
+class DropCommitSetGuardEngine(ProtocolEngine):
+    """Mutant: the true-child test forgets the "already in T(t)" clause.
+
+    Section 3.1's second clause rejects a checkpoint request for a tree the
+    process is *actively* a member of (its uncommitted checkpoint is shared
+    with that instance).  Without it, a request echo re-recruits the member
+    into a fresh round of its own tree, and overlapping instances can
+    double-count acknowledgements and decide inconsistently.
+
+    This is a *surviving* mutant under the quick-mode bounds: triggering it
+    needs a request echo for an already-joined tree, which the failure-free
+    small scenarios do not produce within 400k states at depth 18.  It is
+    kept as a hard target and as an honest record that bounded exploration
+    is not a proof — the CI self-test uses ``drop-undone-send-guard``,
+    which the explorer demonstrably catches and shrinks.
+    """
+
+    def _is_true_chkpt_child(self, src: ProcessId, req: M.ChkptReq) -> bool:
+        # DELIBERATE BUG: `req.tree in self.chkpt_commit_set` check dropped.
+        if self.decisions_seen.get(req.tree) == "abort":
+            return False
+        oldchkpt = self.store.oldchkpt
+        if oldchkpt is None or oldchkpt.seq > req.max_label:
+            return False
+        if self.ledger.has_undone_send_with_label(src, req.max_label):
+            return False
+        return True
+
+
+class DropUndoneSendGuardEngine(ProtocolEngine):
+    """Mutant: the true-child test forgets the undone-send clause.
+
+    Clause 3 rejects a request referencing a message the process has since
+    undone (the neg_ack carries the undone notice).  Without it, the
+    requester's tentative checkpoint certifies a receive whose send a
+    rollback has already erased — a dangling receive on the recovery line.
+    """
+
+    def _is_true_chkpt_child(self, src: ProcessId, req: M.ChkptReq) -> bool:
+        if req.tree in self.chkpt_commit_set:
+            return False
+        if self.decisions_seen.get(req.tree) == "abort":
+            return False
+        oldchkpt = self.store.oldchkpt
+        if oldchkpt is None or oldchkpt.seq > req.max_label:
+            return False
+        # DELIBERATE BUG: `has_undone_send_with_label` check dropped.
+        return True
+
+
+MUTANTS: Dict[str, Callable[..., ProtocolEngine]] = {
+    "drop-commit-set-guard": DropCommitSetGuardEngine,
+    "drop-undone-send-guard": DropUndoneSendGuardEngine,
+}
+
+
+def resolve_mutant(name: Optional[str]) -> Optional[Callable[..., ProtocolEngine]]:
+    if name is None:
+        return None
+    try:
+        return MUTANTS[name]
+    except KeyError:
+        raise ValueError(f"unknown mutant {name!r}; choose from {sorted(MUTANTS)}") from None

@@ -1,0 +1,102 @@
+"""Scripted workloads for the interleaving explorer.
+
+A scenario fixes *what* happens — which application messages exist and
+which processes initiate checkpoint/rollback instances — and leaves *when*
+entirely to the explorer: every delivery and every initiation is a choice.
+
+The default ``concurrent`` scenario is the paper's hard case: a message
+ring creating cross-process dependencies, plus two autonomous initiators —
+one checkpointing, one rolling back — whose instances can interleave in
+every order, over an arbitrarily reordering (non-FIFO) network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.compat import slotted_dataclass
+from repro.types import ProcessId
+
+
+@slotted_dataclass(frozen=True)
+class Scenario:
+    """A fixed workload whose interleavings the explorer enumerates."""
+
+    name: str
+    n: int
+    #: Application sends executed before exploration: (src, dst, payload).
+    setup: Tuple[Tuple[ProcessId, ProcessId, str], ...]
+    #: Explored initiations: (pid, "checkpoint" | "rollback").
+    actions: Tuple[Tuple[ProcessId, str], ...]
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("scenarios need at least 2 processes")
+        for src, dst, _ in self.setup:
+            if not (0 <= src < self.n and 0 <= dst < self.n):
+                raise ValueError(f"setup send {src}->{dst} outside 0..{self.n - 1}")
+        for pid, op in self.actions:
+            if not 0 <= pid < self.n:
+                raise ValueError(f"action pid {pid} outside 0..{self.n - 1}")
+            if op not in ("checkpoint", "rollback"):
+                raise ValueError(f"unknown action {op!r}")
+
+
+def _ring(n: int) -> Tuple[Tuple[ProcessId, ProcessId, str], ...]:
+    """One application message per ring edge: i -> (i+1) mod n."""
+    return tuple((i, (i + 1) % n, f"m{i}") for i in range(n))
+
+
+def concurrent(n: int = 3) -> Scenario:
+    """Two autonomous initiators racing over a message ring.
+
+    ``P1`` starts a checkpoint instance and ``P2`` (``P1`` again when
+    ``n == 2``) a rollback instance; the ring messages create the
+    dependencies that force recruitment.  Interleaved deliveries model a
+    non-FIFO network, so this covers concurrent checkpointing *and*
+    rollback with reordering — the situation Sections 3.4/4 are about.
+    """
+    return Scenario(
+        name="concurrent",
+        n=n,
+        setup=_ring(n),
+        actions=((1, "checkpoint"), (2 % n, "rollback")),
+    )
+
+
+def isolated_checkpoint(n: int = 3) -> Scenario:
+    """A single checkpoint instance over a message chain.
+
+    With exactly one instance in the run, the minimality theorem (T3)
+    applies unconditionally, so the invariant layer checks it at every
+    terminal state.
+    """
+    chain = tuple((i, i + 1, f"m{i}") for i in range(n - 1))
+    return Scenario(
+        name="isolated-checkpoint", n=n, setup=chain, actions=((n - 1, "checkpoint"),)
+    )
+
+
+def isolated_rollback(n: int = 3) -> Scenario:
+    """A single rollback instance over a message chain (exercises T4)."""
+    chain = tuple((i, i + 1, f"m{i}") for i in range(n - 1))
+    return Scenario(
+        name="isolated-rollback", n=n, setup=chain, actions=((0, "rollback"),)
+    )
+
+
+SCENARIOS: Dict[str, Callable[[int], Scenario]] = {
+    "concurrent": concurrent,
+    "isolated-checkpoint": isolated_checkpoint,
+    "isolated-rollback": isolated_rollback,
+}
+
+
+def make_scenario(name: str, n: int) -> Scenario:
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return factory(n)

@@ -1,0 +1,80 @@
+"""Replayable counterexample schedules as JSON artifacts.
+
+A schedule file pins everything needed to reproduce a violating run:
+scenario name and size, the (optional) mutant, and the choice sequence.
+``python -m repro.mc --replay FILE`` (or :func:`replay_file`) re-executes
+it and reports the violation — the workflow the explorer's counterexamples
+feed into CI artifacts and bug reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConsistencyViolation
+from repro.mc.explorer import Explorer
+from repro.mc.harness import ChoiceKey
+from repro.mc.scenario import make_scenario
+
+FORMAT = "repro.mc/schedule-v1"
+
+
+def _key_to_json(key: ChoiceKey) -> List[Any]:
+    return list(key)
+
+
+def _key_from_json(raw: List[Any]) -> ChoiceKey:
+    if not raw or raw[0] not in ("m", "a"):
+        raise ValueError(f"malformed choice key: {raw!r}")
+    return tuple(raw)
+
+
+def dump_schedule(
+    path: str,
+    scenario_name: str,
+    n: int,
+    schedule: List[ChoiceKey],
+    mutant: Optional[str] = None,
+    violation: Optional[str] = None,
+) -> None:
+    payload: Dict[str, Any] = {
+        "format": FORMAT,
+        "scenario": scenario_name,
+        "n": n,
+        "mutant": mutant,
+        "violation": violation,
+        "schedule": [_key_to_json(k) for k in schedule],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def load_schedule(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("format") != FORMAT:
+        raise ValueError(f"{path}: not a {FORMAT} file")
+    payload["schedule"] = [_key_from_json(k) for k in payload["schedule"]]
+    return payload
+
+
+def replay_file(path: str) -> Optional[ConsistencyViolation]:
+    """Replay a schedule file; return the violation it reproduces (or None)."""
+    from repro.mc.mutants import resolve_mutant  # cycle-free late import
+
+    payload = load_schedule(path)
+    scenario = make_scenario(payload["scenario"], payload["n"])
+    engine_class = resolve_mutant(payload.get("mutant"))
+    explorer = Explorer(scenario, engine_class=engine_class)
+    harness = explorer.replay(payload["schedule"])
+    try:
+        explorer.check(harness)
+    except ConsistencyViolation as cause:
+        return cause
+    # The terminal state may be fine while an intermediate one was not;
+    # re-walk with per-step checks.
+    from repro.mc.shrink import _violates
+
+    return _violates(explorer, payload["schedule"])

@@ -1,0 +1,67 @@
+"""Delta-debugging (ddmin) of violating schedules.
+
+A counterexample found deep in the search tree usually contains many
+irrelevant choices.  Because replay skips choices that are no longer
+enabled, any *subsequence* of a schedule is itself replayable — so the
+classic ddmin algorithm applies directly: drop chunks of the schedule while
+the replay still violates an invariant, ending at a locally 1-minimal
+reproduction (removing any single remaining choice loses the bug).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConsistencyViolation
+from repro.mc.explorer import Explorer
+from repro.mc.harness import ChoiceKey, ClusterHarness
+
+
+def _violates(explorer: Explorer, schedule: List[ChoiceKey]) -> Optional[ConsistencyViolation]:
+    """Replay ``schedule``; return the invariant violation it causes, if any.
+
+    Invariants are checked after every replayed choice (not just at the
+    end): dropping choices can surface the violation mid-schedule.
+    """
+    harness = ClusterHarness(explorer.scenario, engine_class=explorer.engine_class)
+    try:
+        explorer.check(harness)
+        for key in schedule:
+            if not harness.is_enabled(key):
+                continue
+            harness.execute(key)
+            explorer.check(harness)
+    except ConsistencyViolation as cause:
+        return cause
+    return None
+
+
+def shrink(
+    explorer: Explorer, schedule: List[ChoiceKey]
+) -> Tuple[List[ChoiceKey], ConsistencyViolation]:
+    """ddmin: a minimal subsequence of ``schedule`` that still violates."""
+    cause = _violates(explorer, schedule)
+    if cause is None:
+        raise ValueError("schedule does not reproduce a violation")
+
+    def test(candidate: List[ChoiceKey]) -> Optional[ConsistencyViolation]:
+        return _violates(explorer, candidate)
+
+    current = list(schedule)
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        for start in range(0, len(current), chunk):
+            candidate = current[:start] + current[start + chunk:]
+            verdict = test(candidate)
+            if verdict is not None:
+                current, cause = candidate, verdict
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current, cause

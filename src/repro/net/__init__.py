@@ -1,33 +1,45 @@
-"""Simulated network: envelopes, delay models, channels, routing, spooling."""
+"""Simulated network: envelopes, delay models, channels, routing, spooling.
 
-from repro.net.channel import FifoChannel, NonFifoChannel
-from repro.net.delay import (
-    AdversarialReorderDelay,
-    DelayModel,
-    ExponentialDelay,
-    FixedDelay,
-    LossyDelay,
-    UniformDelay,
-)
-from repro.net.message import CONTROL, NORMAL, Envelope, control, normal
-from repro.net.network import Network
-from repro.net.spooler import SpoolerGroup, SpoolerReplica
+Attribute access is lazy (PEP 562): the pure :mod:`repro.net.message` module
+is importable from the sans-IO engine without this package's eager re-exports
+pulling in the delay/channel/network machinery (which imports repro.sim).
+"""
 
-__all__ = [
-    "AdversarialReorderDelay",
-    "CONTROL",
-    "DelayModel",
-    "Envelope",
-    "ExponentialDelay",
-    "FifoChannel",
-    "FixedDelay",
-    "LossyDelay",
-    "NORMAL",
-    "Network",
-    "NonFifoChannel",
-    "SpoolerGroup",
-    "SpoolerReplica",
-    "UniformDelay",
-    "control",
-    "normal",
-]
+from typing import Any, List
+
+_EXPORTS = {
+    "AdversarialReorderDelay": ("repro.net.delay", "AdversarialReorderDelay"),
+    "CONTROL": ("repro.net.message", "CONTROL"),
+    "DelayModel": ("repro.net.delay", "DelayModel"),
+    "Envelope": ("repro.net.message", "Envelope"),
+    "ExponentialDelay": ("repro.net.delay", "ExponentialDelay"),
+    "FifoChannel": ("repro.net.channel", "FifoChannel"),
+    "FixedDelay": ("repro.net.delay", "FixedDelay"),
+    "LossyDelay": ("repro.net.delay", "LossyDelay"),
+    "NORMAL": ("repro.net.message", "NORMAL"),
+    "Network": ("repro.net.network", "Network"),
+    "NonFifoChannel": ("repro.net.channel", "NonFifoChannel"),
+    "SpoolerGroup": ("repro.net.spooler", "SpoolerGroup"),
+    "SpoolerReplica": ("repro.net.spooler", "SpoolerReplica"),
+    "UniformDelay": ("repro.net.delay", "UniformDelay"),
+    "control": ("repro.net.message", "control"),
+    "normal": ("repro.net.message", "normal"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

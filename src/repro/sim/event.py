@@ -22,10 +22,14 @@ from typing import Any, Callable
 
 from repro.types import SimTime
 
-PRIORITY_ROLLBACK = 0
-PRIORITY_CHECKPOINT = 1
-PRIORITY_NORMAL = 2
-PRIORITY_TIMER = 3
+# Priorities live in the dependency-free :mod:`repro.priorities` (shared
+# with the sans-IO engine); re-exported here for backward compatibility.
+from repro.priorities import (  # noqa: F401
+    PRIORITY_CHECKPOINT,
+    PRIORITY_NORMAL,
+    PRIORITY_ROLLBACK,
+    PRIORITY_TIMER,
+)
 
 
 @dataclass(order=True)

@@ -79,12 +79,14 @@ class Node:
         delay: SimTime,
         action: Callable[[], None],
         replace: bool = True,
+        priority: int = PRIORITY_TIMER,
     ) -> None:
         """Schedule ``action`` after ``delay``; timers are named and cancellable.
 
         With ``replace=True`` (default) an existing pending timer of the same
         name is cancelled first — the common "reset the checkpoint timer"
-        idiom from the paper.
+        idiom from the paper.  ``priority`` orders same-instant firings
+        against other kernel events (defaults to timer priority, i.e. last).
         """
         existing = self._timers.get(name)
         if existing is not None and not existing.cancelled:
@@ -98,7 +100,7 @@ class Node:
                 action()
 
         self._timers[name] = self.sim.scheduler.after(
-            delay, fire, priority=PRIORITY_TIMER, label=f"P{self.node_id}.{name}"
+            delay, fire, priority=priority, label=f"P{self.node_id}.{name}"
         )
 
     def cancel_timer(self, name: str) -> None:

@@ -36,43 +36,35 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 from repro.compat import slotted_dataclass
 from repro.types import MessageId, ProcessId, SimTime, TreeId
 
-# Normal (application) message lifecycle.
-K_SEND = "send"                    # pid, msg_id, dst, label, payload
-K_RECEIVE = "receive"              # pid, msg_id, src, label
-K_DISCARD = "discard"              # pid, msg_id, src, label, reason
-K_UNDO_SEND = "undo_send"          # pid, msg_id, dst, label
-K_UNDO_RECEIVE = "undo_receive"    # pid, msg_id, src, label
-
-# Control-plane message lifecycle.
-K_CTRL_SEND = "ctrl_send"          # pid, dst, msg_type, tree
-K_CTRL_RECEIVE = "ctrl_receive"    # pid, src, msg_type, tree
-
-# Checkpoint lifecycle.
-K_CHKPT_TENTATIVE = "chkpt_tentative"   # pid, seq, tree
-K_CHKPT_COMMIT = "chkpt_commit"         # pid, seq, tree
-K_CHKPT_ABORT = "chkpt_abort"           # pid, seq, tree
-
-# Rollback lifecycle.
-K_ROLLBACK = "rollback"            # pid, to_seq, tree, target ("newchkpt"/"oldchkpt")
-K_RESTART = "restart"              # pid, new_interval
-
-# Suspension bookkeeping (for blocking-time metrics).
-K_SUSPEND_SEND = "suspend_send"    # pid
-K_RESUME_SEND = "resume_send"      # pid
-K_SUSPEND_ALL = "suspend_all"      # pid (send + receive)
-K_RESUME_ALL = "resume_all"        # pid
-
-# Instance lifecycle (initiations and terminal outcomes, per tree).
-K_INSTANCE_START = "instance_start"        # pid, tree, instance ("checkpoint"/"rollback")
-K_INSTANCE_COMMIT = "instance_commit"      # pid, tree
-K_INSTANCE_ABORT = "instance_abort"        # pid, tree
-K_INSTANCE_REJECTED = "instance_rejected"  # pid, tree (baseline algorithms)
-
-# Environment events.
-K_CRASH = "crash"                  # pid
-K_RECOVER = "recover"              # pid
-K_PARTITION = "partition"          # groups
-K_MERGE = "merge"                  # groups
+# The K_* record-kind constants live in the dependency-free
+# :mod:`repro.tracekinds` (so the sans-IO engine can emit them without
+# importing this package); re-exported here for backward compatibility.
+from repro.tracekinds import (  # noqa: F401
+    K_CHKPT_ABORT,
+    K_CHKPT_COMMIT,
+    K_CHKPT_TENTATIVE,
+    K_CRASH,
+    K_CTRL_RECEIVE,
+    K_CTRL_SEND,
+    K_DISCARD,
+    K_INSTANCE_ABORT,
+    K_INSTANCE_COMMIT,
+    K_INSTANCE_REJECTED,
+    K_INSTANCE_START,
+    K_MERGE,
+    K_PARTITION,
+    K_RECEIVE,
+    K_RECOVER,
+    K_RESTART,
+    K_RESUME_ALL,
+    K_RESUME_SEND,
+    K_ROLLBACK,
+    K_SEND,
+    K_SUSPEND_ALL,
+    K_SUSPEND_SEND,
+    K_UNDO_RECEIVE,
+    K_UNDO_SEND,
+)
 
 
 @slotted_dataclass()

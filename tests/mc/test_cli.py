@@ -1,0 +1,43 @@
+"""`python -m repro.mc` CLI: exit codes and the counterexample workflow."""
+
+import json
+
+from repro.mc.__main__ import main
+
+
+def test_clean_exploration_exits_zero(capsys):
+    code = main(["--scenario", "isolated-checkpoint", "--depth-bound", "20"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "invariants hold on every explored state" in out
+    assert "explored" in out and "pruned" in out
+
+
+def test_bounded_run_reports_incompleteness(capsys):
+    code = main(["--scenario", "concurrent", "--depth-bound", "8", "--max-states", "5000"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "exploration incomplete" in out
+
+
+def test_mutant_run_writes_replayable_counterexample(capsys, tmp_path):
+    cx = tmp_path / "cx.json"
+    code = main(
+        [
+            "--scenario", "concurrent",
+            "--mutant", "drop-undone-send-guard",
+            "--depth-bound", "14",
+            "--max-states", "60000",
+            "--counterexample", str(cx),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "VIOLATION" in out and "shrunk to" in out
+    payload = json.loads(cx.read_text())
+    assert payload["format"] == "repro.mc/schedule-v1"
+
+    replay_code = main(["--replay", str(cx)])
+    replay_out = capsys.readouterr().out
+    assert replay_code == 1
+    assert "reproduced violation" in replay_out

@@ -1,0 +1,69 @@
+"""Explorer: exhaustive small scenarios, honest bounds, and POR soundness."""
+
+import pytest
+
+from repro.mc import Explorer, make_scenario
+
+
+def test_isolated_checkpoint_explored_exhaustively_and_clean():
+    explorer = Explorer(make_scenario("isolated-checkpoint", 3), depth_bound=20)
+    result = explorer.run()
+    assert result.violation is None
+    assert result.truncated == 0, "small scenario should fit the bounds"
+    assert result.exhaustive
+    assert result.terminal > 0
+    assert result.pruned > 0, "sleep sets should prune something non-trivial"
+
+
+def test_isolated_rollback_explored_exhaustively_and_clean():
+    explorer = Explorer(make_scenario("isolated-rollback", 3), depth_bound=20)
+    result = explorer.run()
+    assert result.violation is None
+    assert result.exhaustive
+    assert result.terminal > 0
+
+
+def test_concurrent_quick_mode_is_clean_and_reports_truncation():
+    # CI quick mode: bounded exploration of the checkpoint+rollback race.
+    explorer = Explorer(make_scenario("concurrent", 3), depth_bound=10, max_states=20_000)
+    result = explorer.run()
+    assert result.violation is None
+    assert result.explored > 100
+    assert result.truncated > 0, "depth bound must be reported, not hidden"
+    assert not result.exhaustive
+
+
+def test_por_prunes_but_preserves_verdict_and_terminal_coverage():
+    scenario = make_scenario("isolated-rollback", 3)
+    with_por = Explorer(scenario, depth_bound=20, por=True).run()
+    without_por = Explorer(scenario, depth_bound=20, por=False).run()
+    assert with_por.violation is None and without_por.violation is None
+    assert with_por.exhaustive and without_por.exhaustive
+    assert with_por.explored < without_por.explored
+    assert without_por.pruned == 0
+
+
+def test_state_bound_truncates_gracefully():
+    explorer = Explorer(make_scenario("concurrent", 3), depth_bound=30, max_states=50)
+    result = explorer.run()
+    assert result.explored <= 50
+    assert not result.exhaustive
+
+
+def test_replay_reproduces_a_schedule_prefix_deterministically():
+    explorer = Explorer(make_scenario("concurrent", 3), depth_bound=10)
+    harness = explorer.replay([])
+    schedule = []
+    while not harness.quiescent and len(schedule) < 6:
+        key = harness.enabled()[0]
+        harness.execute(key)
+        schedule.append(key)
+    replayed = explorer.replay(schedule)
+    assert replayed.step == harness.step
+    assert sorted(replayed.in_flight) == sorted(harness.in_flight)
+
+
+@pytest.mark.parametrize("bad_depth", [0, -3])
+def test_nonpositive_depth_bound_rejected(bad_depth):
+    with pytest.raises(ValueError):
+        Explorer(make_scenario("concurrent", 3), depth_bound=bad_depth)

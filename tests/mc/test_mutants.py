@@ -1,0 +1,91 @@
+"""End-to-end mutant pipeline: find -> shrink -> dump -> replay.
+
+``drop-undone-send-guard`` deletes clause 3 of the true-child test; the
+explorer must find an interleaving where that breaks 2PC all-or-nothing,
+the shrinker must reduce the schedule, and the dumped artifact must replay
+to the same violation — the full counterexample workflow CI exercises.
+"""
+
+import pytest
+
+from repro.mc import Explorer, make_scenario
+from repro.mc.mutants import MUTANTS, resolve_mutant
+from repro.mc.schedule import dump_schedule, load_schedule, replay_file
+from repro.mc.shrink import shrink
+
+MUTANT = "drop-undone-send-guard"
+BOUNDS = {"depth_bound": 14, "max_states": 60_000}
+
+
+@pytest.fixture(scope="module")
+def caught():
+    explorer = Explorer(
+        make_scenario("concurrent", 3), engine_class=resolve_mutant(MUTANT), **BOUNDS
+    )
+    result = explorer.run()
+    assert result.violation is not None, "explorer failed to catch the mutant"
+    return explorer, result.violation
+
+
+def test_healthy_engine_passes_where_the_mutant_fails(caught):
+    explorer, violation = caught
+    healthy = Explorer(make_scenario("concurrent", 3), **BOUNDS)
+    # The exact violating schedule is clean on the real protocol.
+    harness = healthy.replay(violation.schedule)
+    healthy.check(harness)
+
+
+def test_violation_is_all_or_nothing_breakage(caught):
+    _, violation = caught
+    assert "committed at" in str(violation.cause)
+    assert "aborted at" in str(violation.cause)
+
+
+def test_shrink_produces_minimal_reproduction(caught):
+    explorer, violation = caught
+    minimal, cause = shrink(explorer, violation.schedule)
+    assert 0 < len(minimal) <= len(violation.schedule)
+    assert "2PC" in str(cause) or "committed" in str(cause)
+    # 1-minimality: removing any single remaining choice loses the bug.
+    from repro.mc.shrink import _violates
+
+    for i in range(len(minimal)):
+        candidate = minimal[:i] + minimal[i + 1:]
+        assert _violates(explorer, candidate) is None, (
+            f"choice {i} of the shrunk schedule is removable — not minimal"
+        )
+
+
+def test_counterexample_roundtrip_reproduces_violation(caught, tmp_path):
+    explorer, violation = caught
+    minimal, cause = shrink(explorer, violation.schedule)
+    path = tmp_path / "cx.json"
+    dump_schedule(str(path), "concurrent", 3, minimal, mutant=MUTANT, violation=str(cause))
+
+    payload = load_schedule(str(path))
+    assert payload["mutant"] == MUTANT
+    assert payload["schedule"] == minimal
+
+    reproduced = replay_file(str(path))
+    assert reproduced is not None
+    assert "committed at" in str(reproduced)
+
+
+def test_schedule_file_without_mutant_replays_clean(tmp_path):
+    path = tmp_path / "clean.json"
+    dump_schedule(str(path), "isolated-checkpoint", 3, [("a", 0)])
+    assert replay_file(str(path)) is None
+
+
+def test_load_rejects_wrong_format(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text('{"format": "something-else", "schedule": []}')
+    with pytest.raises(ValueError, match="not a repro.mc/schedule"):
+        load_schedule(str(path))
+
+
+def test_resolve_mutant():
+    assert resolve_mutant(None) is None
+    assert resolve_mutant(MUTANT) is MUTANTS[MUTANT]
+    with pytest.raises(ValueError, match="unknown mutant"):
+        resolve_mutant("no-such-mutant")

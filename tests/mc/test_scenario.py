@@ -1,0 +1,49 @@
+"""Scenario construction and validation."""
+
+import pytest
+
+from repro.mc import SCENARIOS, Scenario, make_scenario
+
+
+def test_registry_covers_the_documented_scenarios():
+    assert set(SCENARIOS) == {"concurrent", "isolated-checkpoint", "isolated-rollback"}
+
+
+def test_make_scenario_builds_each_registered_name():
+    for name in SCENARIOS:
+        scenario = make_scenario(name, 3)
+        assert scenario.n == 3
+        assert scenario.actions  # every scenario initiates something
+
+
+def test_concurrent_has_two_distinct_initiators():
+    scenario = make_scenario("concurrent", 3)
+    ops = sorted(op for _, op in scenario.actions)
+    assert ops == ["checkpoint", "rollback"]
+    pids = {pid for pid, _ in scenario.actions}
+    assert len(pids) == 2  # distinct processes race at n >= 3
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        make_scenario("nope", 3)
+
+
+def test_too_small_cluster_rejected():
+    with pytest.raises(ValueError, match="at least 2"):
+        Scenario(name="tiny", n=1, setup=(), actions=())
+
+
+def test_out_of_range_send_rejected():
+    with pytest.raises(ValueError, match="outside"):
+        Scenario(name="bad", n=2, setup=((0, 5, "m"),), actions=())
+
+
+def test_out_of_range_action_pid_rejected():
+    with pytest.raises(ValueError, match="outside"):
+        Scenario(name="bad", n=2, setup=(), actions=((7, "checkpoint"),))
+
+
+def test_unknown_action_op_rejected():
+    with pytest.raises(ValueError, match="unknown action"):
+        Scenario(name="bad", n=2, setup=(), actions=((0, "explode"),))
