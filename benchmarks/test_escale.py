@@ -65,11 +65,9 @@ def test_wire_codec_and_batching(run_once):
         at_scale = [r["speedup"] for r in tcp + loopback if r["n"] >= 256]
         assert max(at_scale) >= 2.0, f"no at-scale row reached 2x: {at_scale}"
 
-    ARTIFACT.write_text(
-        json.dumps(
-            {"escale": {"title": "E-SCALE — wire codec + batching throughput",
-                        "rows": rows_to_json(rows)}},
-            indent=2,
-        )
-        + "\n"
-    )
+    # Merge (not overwrite): other experiments — the shards axis — record
+    # their own keys into the same artifact.
+    data = json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {}
+    data["escale"] = {"title": "E-SCALE — wire codec + batching throughput",
+                      "rows": rows_to_json(rows)}
+    ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")

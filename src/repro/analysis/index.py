@@ -108,15 +108,25 @@ class TraceIndex(TraceSink):
         clocks may disagree) — then renumbered 0..N-1 so downstream
         consumers see a dense, ordered stream, exactly as if one trace had
         recorded everything.
+
+        Shard files are read tolerantly: a final line cut mid-record (the
+        partial flush a killed shard leaves behind) is skipped, and the
+        number of such dropped tail lines is exposed as
+        ``truncated_lines`` on the returned index so the loss is visible
+        to whoever interprets the merged analysis.
         """
         keyed: List[Tuple[float, int, int, TraceEvent]] = []
         position = 0
+        truncated = 0
         for path in paths:
-            for event in T.load_jsonl(path):
+            events, dropped = T.load_jsonl_tolerant(path)
+            truncated += dropped
+            for event in events:
                 keyed.append((event.time, event.index, position, event))
                 position += 1
         keyed.sort(key=lambda entry: entry[:3])
         index = cls()
+        index.truncated_lines = truncated
         for new_index, (_, _, _, event) in enumerate(keyed):
             index.emit(
                 TraceEvent(
@@ -131,6 +141,9 @@ class TraceIndex(TraceSink):
 
     def __init__(self) -> None:
         self.events_indexed = 0
+        # Tail lines dropped by from_jsonl_files (partial flushes of killed
+        # shards); 0 for indexes built from in-memory streams.
+        self.truncated_lines = 0
         self._by_kind: Dict[str, List[TraceEvent]] = {}
         self._by_pid: Dict[ProcessId, List[TraceEvent]] = {}
         self._by_pid_kind: Dict[Tuple[ProcessId, str], List[TraceEvent]] = {}

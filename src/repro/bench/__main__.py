@@ -26,6 +26,7 @@ from repro.bench import experiments as E
 from repro.bench import live as L
 from repro.bench import perf as P
 from repro.bench import scale as S
+from repro.bench import shards as SH
 from repro.bench.harness import format_table, print_experiment, rows_to_json, write_json
 from repro.bench.parallel import run_registry_parallel
 
@@ -53,6 +54,7 @@ REGISTRY: Dict[str, Tuple[str, Callable[[], List[Dict[str, Any]]]]] = {
     "perf": ("E-PERF — snapshot engine + parallel sweeps", lambda: P.experiment_perf()),
     "live": ("E-LIVE — live kernel vs. simulator", lambda: L.experiment_live()),
     "escale": ("E-SCALE — wire codec + batching throughput", lambda: S.experiment_scale_pass()),
+    "escale-shards": ("E-SCALE — sharded runtime scaling", lambda: SH.experiment_shards()),
 }
 
 

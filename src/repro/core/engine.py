@@ -274,6 +274,11 @@ class EngineBase:
         self.committed_history: List[Any] = []
         self.crashed = False
         self.peers: Tuple[ProcessId, ...] = ()
+        # Host-settable quiesce switch: while False, the checkpoint timer
+        # keeps re-arming but initiates nothing, so a host can drain every
+        # in-flight 2PC round before cutting a run (no tree is ever cut
+        # between the root's commit and a cohort's).
+        self.autonomous_checkpoints = True
         #: Result of the last Initiate* event (the new tree's id or None).
         self.last_result: Optional[TreeId] = None
 
@@ -453,7 +458,8 @@ class EngineBase:
         )
 
     def _checkpoint_timer_fired(self) -> None:
-        self.initiate_checkpoint()
+        if self.autonomous_checkpoints:
+            self.initiate_checkpoint()
         self._reset_checkpoint_timer()
 
     # ------------------------------------------------------------------

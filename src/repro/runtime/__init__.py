@@ -11,13 +11,18 @@ The subsystem mirrors the simulator's layering:
   subclass that transmits via a transport;
 * :mod:`repro.runtime.cluster` — the N-node harness with per-node stable
   storage, per-node JSONL traces, and kill/restart;
-* ``python -m repro.runtime`` — a demo CLI that boots a cluster, injects a
-  failure, and consistency-checks the merged trace.
+* :mod:`repro.runtime.shard` — the multi-process sharded runtime: one
+  :class:`AsyncRuntime` per worker core, consistent-hash pid placement,
+  wire-v2 inter-shard links, and the :class:`ShardedCluster` front door;
+* ``python -m repro.runtime`` — a demo CLI that boots a cluster (optionally
+  sharded via ``--shards``), injects a failure, and consistency-checks the
+  merged trace.
 """
 
 from repro.runtime.cluster import Cluster, PidRouterSink
 from repro.runtime.loop import AsyncRuntime, AsyncScheduler, AsyncTimer
 from repro.runtime.network import RuntimeNetwork
+from repro.runtime.shard import HashRing, ShardedCluster, ShardNetwork, ShardTransport
 from repro.runtime.transport import LoopbackTransport, TcpTransport, Transport
 
 __all__ = [
@@ -25,9 +30,13 @@ __all__ = [
     "AsyncScheduler",
     "AsyncTimer",
     "Cluster",
+    "HashRing",
     "LoopbackTransport",
     "PidRouterSink",
     "RuntimeNetwork",
+    "ShardNetwork",
+    "ShardTransport",
+    "ShardedCluster",
     "TcpTransport",
     "Transport",
 ]

@@ -6,6 +6,7 @@ Usage::
     python -m repro.runtime --nodes 4 --transport loopback
     python -m repro.runtime --kill 1@8 --restart 1@18        # mid-run failure
     python -m repro.runtime --duration 40 --time-scale 0.02 --out runs/live
+    python -m repro.runtime --nodes 8 --shards 2             # multi-process
 
 The run drives a Poisson peer workload with periodic autonomous checkpoints
 and the Section 6 resilience machinery on, optionally killing and
@@ -13,6 +14,11 @@ restarting nodes mid-run.  Afterwards the per-node JSONL traces are merged
 into one :class:`~repro.analysis.index.TraceIndex` and the paper's C1
 consistency definition is checked against the reconstructed recovery line —
 the same oracle the simulated test suite uses, now applied to a live run.
+
+With ``--shards K`` the same scenario runs on the multi-process
+:class:`~repro.runtime.shard.ShardedCluster`: K worker kernels, pids placed
+by consistent hashing, inter-shard traffic over wire-v2 TCP links — and the
+identical C1 check on the merged per-shard traces.
 """
 
 from __future__ import annotations
@@ -49,7 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--nodes", type=int, default=3, help="cluster size (default 3)")
     parser.add_argument(
         "--transport", choices=("tcp", "loopback"), default="tcp",
-        help="message transport (default tcp)",
+        help="message transport (default tcp; ignored with --shards)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="K",
+        help="run K worker processes (sharded runtime); 0 = single-process",
     )
     parser.add_argument("--duration", type=float, default=30.0,
                         help="run length in protocol time units (default 30)")
@@ -90,8 +100,23 @@ async def run_demo(args: argparse.Namespace) -> Dict[str, Any]:
 
     await cluster.start()
     await cluster.run_for(args.duration)
-    # Let in-flight traffic and decision propagation settle before the cut.
-    await cluster.run_for(5.0)
+    # Quiesce before the cut: stop autonomous initiation, drain the open
+    # 2PC rounds, then let decision propagation settle — so the recovery
+    # line the trace records is a settled one, not a mid-commit snapshot.
+    for proc in cluster.procs.values():
+        proc.engine.autonomous_checkpoints = False
+
+    def open_rounds() -> int:
+        return sum(
+            sum(1 for s in p.engine.trees.all_chkpt_rounds() if not s.closed)
+            + sum(1 for s in p.engine.trees.roll.values() if not s.closed)
+            for p in cluster.procs.values()
+        )
+
+    await cluster.runtime.wait_until(
+        lambda: open_rounds() == 0, timeout=60.0, what="open instances to drain"
+    )
+    await cluster.run_for(2.0)
     await cluster.shutdown()
 
     summary = cluster.summary()
@@ -102,6 +127,51 @@ async def run_demo(args: argparse.Namespace) -> Dict[str, Any]:
     summary["merged_events"] = index.events_indexed
     try:
         check_c1_from_trace(index, sorted(cluster.procs))
+        summary["recovery_line_consistent"] = True
+    except ConsistencyViolation as violation:
+        summary["recovery_line_consistent"] = False
+        summary["violation"] = str(violation)
+    return summary
+
+
+def run_sharded_demo(args: argparse.Namespace) -> Dict[str, Any]:
+    """The demo scenario on the multi-process sharded runtime."""
+    from repro.runtime.shard import ShardedCluster
+
+    config = ProtocolConfig(
+        checkpoint_interval=max(4.0, args.duration / 4),
+        failure_resilience=True,
+    )
+    cluster = ShardedCluster(
+        n=args.nodes,
+        root=args.out,
+        shards=args.shards,
+        seed=args.seed,
+        config=config,
+        time_scale=args.time_scale,
+        workload=dict(message_rate=1.0, step_rate=0.5, duration=args.duration),
+    )
+    try:
+        for pid, at in parse_events(args.kill):
+            cluster.schedule_kill(pid, at)
+        for pid, at in parse_events(args.restart):
+            cluster.schedule_restart(pid, at)
+        cluster.start()
+        cluster.run_for(args.duration)
+        cluster.quiesce()  # drain open 2PC rounds before the cut
+        cluster.run_for(2.0)
+        cluster.shutdown()
+    finally:
+        cluster.close()
+
+    summary = cluster.summary()
+    summary["transport"] = f"wire-v2 tcp x{args.shards} shards"
+    summary["trace_files"] = cluster.trace_paths()
+
+    index = cluster.merged_index()
+    summary["merged_events"] = index.events_indexed
+    try:
+        check_c1_from_trace(index, list(range(args.nodes)))
         summary["recovery_line_consistent"] = True
     except ConsistencyViolation as violation:
         summary["recovery_line_consistent"] = False
@@ -129,7 +199,10 @@ def render(summary: Dict[str, Any]) -> str:
 
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
-    summary = asyncio.run(run_demo(args))
+    if args.shards:
+        summary = run_sharded_demo(args)
+    else:
+        summary = asyncio.run(run_demo(args))
     print(render(summary))
     if args.json:
         with open(args.json, "w") as handle:

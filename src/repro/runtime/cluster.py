@@ -217,6 +217,7 @@ class Cluster:
                 "frames_sent": self.transport.frames_sent,
                 "batches_sent": self.transport.batches_sent,
                 "bytes_sent": self.transport.bytes_sent,
+                "wire_generations": self.transport.generation_summary(),
                 "negotiated": {
                     str(pid): version
                     for pid, version in sorted(self.transport.negotiated.items())

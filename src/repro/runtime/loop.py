@@ -293,6 +293,7 @@ class AsyncRuntime(KernelCore):
         sinks: Optional[Sequence["TraceSink"]] = None,
         trace: Optional[Trace] = None,
         time_scale: float = 0.05,
+        network: Optional["RuntimeNetwork"] = None,
     ) -> None:
         super().__init__()
         from repro.runtime.network import RuntimeNetwork
@@ -304,9 +305,16 @@ class AsyncRuntime(KernelCore):
             raise SimulationError("pass either trace= or sinks=, not both")
         self.trace = trace if trace is not None else Trace(sinks=sinks)
         self.transport: "Transport" = transport or LoopbackTransport()
-        self.network: "RuntimeNetwork" = RuntimeNetwork(
-            self.transport, delay_model=delay_model, channel=channel
-        )
+        if network is not None:
+            # A pre-built facade (e.g. the sharded runtime's, which accepts
+            # remote destinations) owns its delay model and channel.
+            if delay_model is not None or channel is not None:
+                raise SimulationError("pass delay_model/channel on the network, not both")
+            self.network = network
+        else:
+            self.network = RuntimeNetwork(
+                self.transport, delay_model=delay_model, channel=channel
+            )
         self.network.bind(self)
         self.transport.bind(self)
         self._started = False
@@ -331,7 +339,9 @@ class AsyncRuntime(KernelCore):
         # later await — endpoints must already exist by then.
         await self.transport.start()
         self.scheduler.attach(asyncio.get_running_loop())
-        for pid in self.process_ids:
+        # Iterate hosted nodes, not process_ids: a sharded kernel reports
+        # the whole cluster's pids but only hosts (and starts) its slice.
+        for pid in sorted(self.nodes):
             self.nodes[pid].on_start()
 
     async def run_for(self, duration: SimTime) -> SimTime:

@@ -1,0 +1,1179 @@
+"""Sharded multi-process cluster runtime: many cores, one protocol.
+
+E-SCALE showed the whole system saturating a single core: one
+:class:`~repro.runtime.loop.AsyncRuntime` drives every engine, so adding
+processes adds contention, not throughput.  The paper's protocol is
+decentralized — concurrent checkpoint/recovery instances across autonomous
+processes — and the sans-IO engine makes hosts cheap, so the fix is to run
+*many kernels*: partition the protocol processes across worker OS processes
+(one ``AsyncRuntime`` per core) and let the byte-identical engine code run
+everywhere.
+
+Layout::
+
+    ShardedCluster (front door, parent process)
+      ├─ worker 0: AsyncRuntime ── ShardTransport ──┐
+      ├─ worker 1: AsyncRuntime ── ShardTransport ──┼── one wire-v2 TCP
+      └─ worker k: AsyncRuntime ── ShardTransport ──┘   link per shard pair
+
+* **pid → shard assignment** is consistent hashing (:class:`HashRing`):
+  every participant — parent and workers — derives the same map from
+  ``(shards, replicas)`` alone, and future elastic membership remaps only
+  ~1/shards of the pids per shard count change.
+* **intra-shard** delivery uses the loopback fast path (the wire-codec
+  round-trip plus the delay-model/channel pipeline — exactly
+  :class:`~repro.runtime.transport.LoopbackTransport` semantics).
+* **inter-shard** traffic rides the binary wire protocol v2 over one
+  negotiated TCP connection per shard pair, with the batched coalescing
+  drain from :class:`~repro.runtime.transport.TcpTransport`: frames stay
+  whole and in queue order inside a batch, and the *receiving* shard
+  samples the per-message delivery delay, so the non-FIFO channel contract
+  is preserved across the process boundary.
+* **traces** stream to per-shard :class:`~repro.runtime.cluster.
+  PidRouterSink` JSONL shards; :meth:`ShardedCluster.merged_index` stitches
+  them with :meth:`repro.analysis.index.TraceIndex.from_jsonl_files`, so
+  the whole analysis battery (C1, recovery line, 2PC invariant) runs
+  unchanged on multi-process runs.
+
+Failure semantics: :meth:`ShardedCluster.kill` crashes the process on its
+owning shard — the shard's link server stays up, so in-flight frames for
+the dead pid still reach its kernel and take the Section 6
+spool-or-drop salvage path there (spooler hosts are always shard-local,
+because liveness checks and recovery drains are answered by the owning
+kernel).  Crash/recovery *notices* are fanned out to remote shards through
+the control plane with the same detection latency a local failure detector
+applies; spool decision observation stays shard-local, which suffices
+because a decision addressed to a down process arrives at its shard and is
+spooled there as an ordinary envelope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import glob
+import hashlib
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core import CheckpointProcess, ProtocolConfig
+from repro.errors import NetworkError, SimulationError, TransportError, WireError
+from repro.failure import FailureDetector
+from repro.net.delay import FixedDelay
+from repro.net.message import Envelope, normal
+from repro.runtime import wire
+from repro.runtime.cluster import PidRouterSink
+from repro.runtime.loop import AsyncRuntime
+from repro.runtime.network import RuntimeNetwork
+from repro.runtime.transport import Transport, _codec_version, listening_socket
+from repro.sim.event import PRIORITY_TIMER
+from repro.sim.node import Node
+from repro.stable.storage import WriteBehindFileStableStorage
+from repro.types import MessageId, ProcessId, SimTime
+from repro.workloads import RandomPeerWorkload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection
+    from multiprocessing.context import BaseContext
+
+    from repro.analysis.index import TraceIndex
+
+
+def visible_cpus() -> int:
+    """CPUs the OS scheduler will actually grant this process."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# pid -> shard assignment
+# ----------------------------------------------------------------------
+
+class HashRing:
+    """Consistent-hash assignment of protocol pids to shards.
+
+    Each shard projects ``replicas`` virtual points onto a 64-bit ring and
+    a pid lands on the first point clockwise of its own hash.  Two
+    properties matter here:
+
+    * **agreement without coordination** — the map is a pure function of
+      ``(shards, replicas)``, so the parent and every worker compute the
+      identical assignment from the spec alone; no table is shipped.
+    * **stability** — changing the shard count remaps only the pids whose
+      arcs the added/removed points claim (~1/shards of them), which is
+      what makes the assignment future-proof for elastic membership, and
+      the reason this is a ring rather than ``pid % shards``.
+    """
+
+    def __init__(self, shards: int, replicas: int = 64) -> None:
+        if shards < 1:
+            raise SimulationError(f"need at least 1 shard, got {shards}")
+        if replicas < 1:
+            raise SimulationError(f"need at least 1 replica point, got {replicas}")
+        self.shards = shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                points.append((self._hash(f"shard-{shard}/{replica}"), shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def shard_of(self, pid: ProcessId) -> int:
+        """The shard hosting ``pid`` (clockwise successor on the ring)."""
+        position = bisect.bisect_right(self._hashes, self._hash(f"pid-{pid}"))
+        if position == len(self._hashes):
+            position = 0  # wrap past the highest point
+        return self._owners[position]
+
+    def assignment(self, pids: List[ProcessId]) -> Dict[int, List[ProcessId]]:
+        """``shard -> sorted local pids`` for the given population."""
+        shards: Dict[int, List[ProcessId]] = {shard: [] for shard in range(self.shards)}
+        for pid in sorted(pids):
+            shards[self.shard_of(pid)].append(pid)
+        return shards
+
+
+# ----------------------------------------------------------------------
+# Worker-side network facade and transport
+# ----------------------------------------------------------------------
+
+class ShardNetwork(RuntimeNetwork):
+    """A :class:`RuntimeNetwork` that accepts destinations on other shards.
+
+    The base facade rejects destinations its kernel does not host; a shard
+    hosts only its slice, so membership is checked against the *global*
+    pid population instead.  Everything else — counters, partition policy,
+    spooler registry, delivery-time enforcement — is inherited unchanged.
+    """
+
+    def __init__(
+        self,
+        transport: "ShardTransport",
+        global_pids: List[ProcessId],
+        delay_model: Optional[Any] = None,
+        channel: Optional[Any] = None,
+    ) -> None:
+        super().__init__(transport, delay_model=delay_model, channel=channel)
+        self.global_pids = frozenset(global_pids)
+
+    def transmit(self, envelope: "Envelope") -> None:
+        if envelope.dst not in self.global_pids:
+            raise NetworkError(f"unknown destination P{envelope.dst}")
+        self._accept(envelope)
+        self.transport.send(envelope)
+
+
+class ShardRuntime(AsyncRuntime):
+    """An :class:`AsyncRuntime` that reports the *global* cluster view.
+
+    Engine code asks its kernel two population questions — ``process_ids``
+    (who exists) and ``is_alive`` (who is up) — and the answers feed
+    protocol-visible state: the ``Start`` event's peer list, broadcast
+    fan-out (recovery inquiries!), and the failure-detector views stamped
+    on every delivery.  A shard kernel *hosts* only its slice but must
+    *answer* for the whole cluster, or a recovering process would inquire
+    only shard-local peers and stall forever.
+
+    Liveness of remote pids is tracked in a notice-driven map fed by the
+    parent's control plane; local pids use the hosted node's true state.
+    """
+
+    def __init__(self, all_pids: List[ProcessId], **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._all_pids = sorted(all_pids)
+        self._membership = frozenset(all_pids)
+        self._remote_down: set = set()
+
+    @property
+    def process_ids(self) -> List[ProcessId]:
+        return list(self._all_pids)
+
+    def is_alive(self, pid: ProcessId) -> bool:
+        node = self.nodes.get(pid)
+        if node is not None:
+            return not node.crashed
+        return pid in self._membership and pid not in self._remote_down
+
+    def set_remote_alive(self, pid: ProcessId, up: bool) -> None:
+        """Record a control-plane report about a pid hosted elsewhere."""
+        if up:
+            self._remote_down.discard(pid)
+        else:
+            self._remote_down.add(pid)
+
+
+class ShardFailureDetector(FailureDetector):
+    """A failure detector that notifies only the nodes its shard hosts.
+
+    Reports cover the whole cluster (local transitions from this kernel,
+    remote ones relayed by the parent), so ``believed_down`` and
+    ``status_snapshot`` are global — but the notice fan-out must stop at
+    the shard boundary: every other shard's detector receives the same
+    report and notifies its own residents.
+    """
+
+    def _notify_crash(self, pid: ProcessId) -> None:
+        if self.sim.is_alive(pid):
+            return  # raced with a recovery; the recovery notice supersedes
+        for other in sorted(self.sim.nodes):
+            node = self.sim.nodes[other]
+            if other != pid and not node.crashed:
+                node.on_failure_notice(pid)
+
+    def _notify_recovery(self, pid: ProcessId) -> None:
+        if not self.sim.is_alive(pid):
+            return  # crashed again before the notice fired
+        for other in sorted(self.sim.nodes):
+            node = self.sim.nodes[other]
+            if other != pid and not node.crashed:
+                node.on_recovery_notice(pid)
+
+
+class ShardTransport(Transport):
+    """The data plane of one shard: loopback locally, wire-v2 links across.
+
+    Each worker opens exactly one TCP server (its *shard endpoint*) via the
+    ``SO_REUSEADDR`` listener helper.  Outbound envelopes are routed by the
+    hash ring:
+
+    * destination on this shard — the envelope takes the loopback fast
+      path: optional wire-codec round-trip, then the delay-model/channel
+      delivery pipeline on the local kernel;
+    * destination remote — the envelope is queued per destination *shard*
+      and a pump coalesces up to ``max_batch`` queued frames into one
+      write/drain on the single connection this shard keeps to that peer
+      (opened lazily, wire version negotiated from the peer's hello).
+
+    Frames that cannot reach a peer shard go through
+    :meth:`~repro.net.network.Network.spool_or_drop` exactly like the
+    single-process TCP transport's unreachable-peer path.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        ring: HashRing,
+        host: str = "127.0.0.1",
+        codec: str = "binary",
+        max_batch: int = 64,
+        loopback_codec: "bool | str" = "binary",
+    ) -> None:
+        super().__init__()
+        if max_batch < 1:
+            raise TransportError(f"max_batch must be >= 1, got {max_batch}")
+        self.shard = shard
+        self.ring = ring
+        self.host = host
+        version = _codec_version(codec)
+        if version is None:
+            raise TransportError("shard links require a codec ('binary' or 'json')")
+        self.preferred_version = version
+        self.loopback_version = _codec_version(loopback_codec)
+        self.max_batch = max_batch
+        self.port: Optional[int] = None
+        self.peer_addrs: Dict[int, Tuple[str, int]] = {}
+        self.negotiated: Dict[int, int] = {}  # peer shard -> version in use
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._accepted: List[asyncio.StreamWriter] = []
+        self._queues: Dict[int, "asyncio.Queue[Envelope]"] = {}
+        self._writer_tasks: Dict[int, asyncio.Task] = {}
+        self._peers_ready: Optional[asyncio.Event] = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.batches_sent = 0
+        self.bytes_sent = 0
+        self.intra_delivered = 0
+        self.misrouted = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def listen(self) -> int:
+        """Open this shard's link server; returns the bound port.
+
+        Called *before* the runtime starts so the parent can broadcast the
+        full shard address map while every kernel is still quiet.
+        """
+        if self._server is not None:
+            raise TransportError(f"shard {self.shard} is already listening")
+        self._peers_ready = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_link, sock=listening_socket(self.host, 0)
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    def set_peers(self, addrs: Dict[int, Tuple[str, int]]) -> None:
+        """Install the shard → (host, port) map; unblocks the link pumps."""
+        self.peer_addrs = dict(addrs)
+        if self._peers_ready is None:
+            raise TransportError("set_peers before listen()")
+        self._peers_ready.set()
+
+    async def start(self) -> None:
+        await super().start()
+        if self._server is None:
+            await self.listen()
+
+    async def stop(self) -> None:
+        await super().stop()
+        for task in self._writer_tasks.values():
+            task.cancel()
+        for task in self._writer_tasks.values():
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._writer_tasks.clear()
+        self._queues.clear()
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for writer in self._accepted:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - already-broken socket
+                pass
+        self._accepted = []
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send(self, envelope: Envelope) -> None:
+        if not self.started:
+            raise TransportError("shard transport is not running")
+        dst_shard = self.ring.shard_of(envelope.dst)
+        if dst_shard == self.shard:
+            # Loopback fast path: same semantics as LoopbackTransport.
+            if self.loopback_version is not None:
+                envelope = wire.roundtrip(envelope, version=self.loopback_version)
+            self.intra_delivered += 1
+            self._deliver_after_delay(envelope)
+            return
+        queue = self._queues.get(dst_shard)
+        if queue is None:
+            queue = self._queues[dst_shard] = asyncio.Queue()
+        queue.put_nowait(envelope)
+        task = self._writer_tasks.get(dst_shard)
+        if task is None or task.done():
+            self._writer_tasks[dst_shard] = asyncio.get_running_loop().create_task(
+                self._drain(dst_shard, queue)
+            )
+
+    async def _drain(self, dst_shard: int, queue: "asyncio.Queue[Envelope]") -> None:
+        """Outbound pump for one peer shard: connect once, batch, write."""
+        assert self._peers_ready is not None
+        await self._peers_ready.wait()
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            while True:
+                batch = [await queue.get()]
+                while len(batch) < self.max_batch and not queue.empty():
+                    batch.append(queue.get_nowait())
+                writer = await self._write_with_retry(dst_shard, writer, batch)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surface via runtime.check()
+            self.runtime.scheduler._note_error(f"shard link ->S{dst_shard}", exc)
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def _connect(self, dst_shard: int) -> asyncio.StreamWriter:
+        host, port = self.peer_addrs[dst_shard]
+        reader, writer = await asyncio.open_connection(host, port)
+        advertised = await wire.read_hello(reader)
+        self.negotiated[dst_shard] = wire.negotiate(self.preferred_version, advertised)
+        return writer
+
+    async def _write_with_retry(
+        self,
+        dst_shard: int,
+        writer: Optional[asyncio.StreamWriter],
+        batch: List[Envelope],
+    ) -> Optional[asyncio.StreamWriter]:
+        """Write one batch as a single buffer, reconnecting once if stale."""
+        for _attempt in (0, 1):
+            if writer is None:
+                try:
+                    writer = await self._connect(dst_shard)
+                except OSError:
+                    break
+            version = self.negotiated.get(dst_shard, self.preferred_version)
+            buffer = b"".join(wire.dumps_frame(e, version=version) for e in batch)
+            try:
+                writer.write(buffer)
+                await writer.drain()
+                self.frames_sent += len(batch)
+                self.batches_sent += 1
+                self.bytes_sent += len(buffer)
+                return writer
+            except (ConnectionError, OSError):
+                try:
+                    writer.close()
+                except Exception:  # noqa: BLE001
+                    pass
+                writer = None
+        for envelope in batch:
+            self.runtime.network.spool_or_drop(envelope, "shard unreachable")
+        return None
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    async def _serve_link(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._accepted.append(writer)
+        writer.write(wire.pack_hello(self.preferred_version))
+        try:
+            while True:
+                try:
+                    blob = await wire.read_frame(reader)
+                except WireError:
+                    break  # peer died mid-frame: a tolerated link loss
+                if blob is None:
+                    break
+                envelope = wire.loads_frame(blob)
+                self.frames_received += 1
+                if envelope.dst not in self.runtime.nodes:
+                    # A frame for a pid this shard does not host (ring
+                    # disagreement would be a bug; count it loudly).
+                    self.misrouted += 1
+                    continue
+                self._deliver_after_delay(envelope)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                self._accepted.remove(writer)
+            except ValueError:
+                pass
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+
+# ----------------------------------------------------------------------
+# Bench nodes (the shards axis of E-SCALE)
+# ----------------------------------------------------------------------
+
+class ShardBenchNode(Node):
+    """Closed-burst sender/receiver for aggregate-throughput measurement.
+
+    Each burst sends ``count`` normal envelopes to peers chosen round-robin
+    over the *global* pid population, so the traffic is a deterministic
+    intra/inter-shard mix fixed by the hash ring, and every delivery stamps
+    a wall-clock ``last_delivery`` (no poll slack in the measured window).
+    """
+
+    def __init__(self, pid: ProcessId, all_pids: List[ProcessId]) -> None:
+        super().__init__(pid)
+        self.peers = [p for p in all_pids if p != pid]
+        self.sent = 0
+        self.received = 0
+        self.last_delivery: Optional[float] = None
+
+    def burst(self, count: int) -> None:
+        for i in range(count):
+            dst = self.peers[(self.node_id + self.sent + i) % len(self.peers)]
+            self.send(
+                normal(self.node_id, dst, MessageId(self.node_id, self.sent + i),
+                       label=1, body=None)
+            )
+        self.sent += count
+
+    def on_envelope(self, envelope: Envelope) -> None:
+        self.received += 1
+        self.last_delivery = time.perf_counter()
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs to build its slice of the cluster.
+
+    Picklable by construction (spawn-safe): plain values plus the frozen
+    :class:`~repro.core.ProtocolConfig`.  The pid→shard map is *not*
+    shipped — every worker re-derives it from ``(shards, ring_replicas)``
+    via the hash ring, which is the agreement property the ring buys us.
+    """
+
+    shard: int
+    shards: int
+    n: int
+    seed: int
+    root: str
+    time_scale: float
+    host: str = "127.0.0.1"
+    codec: str = "binary"
+    max_batch: int = 64
+    loopback_codec: "bool | str" = "binary"
+    config: Optional[ProtocolConfig] = None
+    detector_latency: Optional[SimTime] = 2.0
+    spoolers: bool = True
+    delay: float = 0.5
+    flush_every: int = 8
+    trace_flush_every: int = 64
+    workload: Optional[Dict[str, Any]] = None
+    bench: bool = False
+    ring_replicas: int = 64
+
+
+class ShardWorker:
+    """One worker's kernel: an :class:`AsyncRuntime` hosting a pid slice."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.ring = HashRing(spec.shards, replicas=spec.ring_replicas)
+        self.all_pids: List[ProcessId] = list(range(spec.n))
+        self.local_pids = self.ring.assignment(self.all_pids)[spec.shard]
+        os.makedirs(spec.root, exist_ok=True)
+        self.router = PidRouterSink(
+            os.path.join(spec.root, "trace"), flush_every=spec.trace_flush_every
+        )
+        self.transport = ShardTransport(
+            spec.shard,
+            self.ring,
+            host=spec.host,
+            codec=spec.codec,
+            max_batch=spec.max_batch,
+            loopback_codec=spec.loopback_codec,
+        )
+        self.runtime = ShardRuntime(
+            self.all_pids,
+            seed=spec.seed,
+            transport=self.transport,
+            sinks=[self.router],
+            time_scale=spec.time_scale,
+            network=ShardNetwork(
+                self.transport, self.all_pids, delay_model=FixedDelay(spec.delay)
+            ),
+        )
+        self.storages: Dict[ProcessId, WriteBehindFileStableStorage] = {}
+        self.procs: Dict[ProcessId, Node] = {}
+        if spec.bench:
+            for pid in self.local_pids:
+                self.procs[pid] = self.runtime.add_node(
+                    ShardBenchNode(pid, self.all_pids)
+                )
+        else:
+            self._build_protocol_nodes()
+
+    def _build_protocol_nodes(self) -> None:
+        spec = self.spec
+        for pid in self.local_pids:
+            storage = WriteBehindFileStableStorage(
+                os.path.join(spec.root, f"node-{pid}"), flush_every=spec.flush_every
+            )
+            self.storages[pid] = storage
+            self.procs[pid] = self.runtime.add_node(
+                CheckpointProcess(pid, spec.config, storage=storage)
+            )
+        if spec.detector_latency is not None:
+            ShardFailureDetector(self.runtime, detection_latency=spec.detector_latency)
+        if spec.spoolers and len(self.local_pids) >= 2:
+            # Spooler hosts must be shard-local: the owning kernel answers
+            # the liveness checks and the recovery drain.
+            for position, pid in enumerate(self.local_pids):
+                hosts = {
+                    self.local_pids[(position + 1) % len(self.local_pids)],
+                    self.local_pids[(position + 2) % len(self.local_pids)],
+                }
+                hosts.discard(pid)
+                if hosts:
+                    self.runtime.network.install_spoolers(pid, sorted(hosts))
+        if spec.workload is not None:
+            RandomPeerWorkload(**spec.workload).install(
+                self.runtime, self.procs, peers=self.all_pids
+            )
+
+    # ------------------------------------------------------------------
+    # Cross-shard failure notices
+    # ------------------------------------------------------------------
+    def notice_remote(self, pid: ProcessId, up: bool, at: Optional[SimTime] = None) -> None:
+        """Apply a control-plane report about a pid hosted on another shard.
+
+        Mirrors what the owning kernel does locally: flip the liveness
+        view at the transition time, then let this shard's detector fan
+        the notice out to its residents after the detection latency.
+        ``at`` is the transition's protocol time; ``None`` means "now".
+        """
+        def transition() -> None:
+            self.runtime.set_remote_alive(pid, up)
+            detector = self.runtime.failure_detector
+            if detector is not None:
+                if up:
+                    detector.report_recovery(pid)
+                else:
+                    detector.report_crash(pid)
+
+        if at is None:
+            transition()
+        else:
+            label = f"remote {'recovery' if up else 'crash'} P{pid}"
+            self.runtime.scheduler.at(
+                at, transition, priority=PRIORITY_TIMER, label=label
+            )
+
+    def quiesce(self) -> int:
+        """Stop autonomous checkpoint initiation on every hosted engine.
+
+        In-flight instances finish normally; no new trees start.  Used by
+        the front door before cutting a run, so no tree is ever cut between
+        the root's commit and a cohort's (which would read as a transient
+        C1 violation on the merged trace).  Returns how many engines were
+        switched; bench nodes have none.
+        """
+        switched = 0
+        for proc in self.procs.values():
+            engine = getattr(proc, "engine", None)
+            if engine is not None:
+                engine.autonomous_checkpoints = False
+                switched += 1
+        return switched
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def committed_counts(self) -> Dict[ProcessId, int]:
+        return {
+            pid: len(getattr(proc, "committed_history", ()))
+            for pid, proc in self.procs.items()
+        }
+
+    def open_instances(self) -> int:
+        """Checkpoint/rollback tree rounds still open on hosted engines."""
+        count = 0
+        for proc in self.procs.values():
+            engine = getattr(proc, "engine", None)
+            if engine is None:
+                continue
+            count += sum(1 for s in engine.trees.all_chkpt_rounds() if not s.closed)
+            count += sum(1 for s in engine.trees.roll.values() if not s.closed)
+        return count
+
+    def poll(self) -> Dict[str, Any]:
+        return {
+            "now": self.runtime.now,
+            "committed": self.committed_counts(),
+            "alive": {pid: self.runtime.is_alive(pid) for pid in self.local_pids},
+            "open_instances": self.open_instances(),
+            "timer_errors": len(self.runtime.scheduler.errors),
+        }
+
+    def bench_status(self) -> Dict[str, Any]:
+        nodes = [self.procs[pid] for pid in self.local_pids]
+        stamps = [n.last_delivery for n in nodes if n.last_delivery is not None]
+        return {
+            "sent": sum(n.sent for n in nodes),
+            "received": sum(n.received for n in nodes),
+            "last_delivery": max(stamps) if stamps else None,
+            "timer_errors": len(self.runtime.scheduler.errors),
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        net = self.runtime.network
+        return {
+            "shard": self.spec.shard,
+            "pids": list(self.local_pids),
+            "now": self.runtime.now,
+            "normal_sent": net.normal_sent,
+            "control_sent": net.control_sent,
+            "delivered": net.delivered,
+            "dropped": net.dropped,
+            "spooled": net.spooled,
+            "committed": self.committed_counts(),
+            "trace_events": self.runtime.trace.events_recorded,
+            "trace_files": self.router.paths,
+            "timer_errors": [
+                f"{label or 'action'}: {exc!r}"
+                for label, exc in self.runtime.scheduler.errors
+            ],
+            "frames_sent": self.transport.frames_sent,
+            "frames_received": self.transport.frames_received,
+            "batches_sent": self.transport.batches_sent,
+            "bytes_sent": self.transport.bytes_sent,
+            "intra_delivered": self.transport.intra_delivered,
+            "misrouted": self.transport.misrouted,
+            "negotiated": dict(self.transport.negotiated),
+        }
+
+
+async def _worker_async(spec: WorkerSpec, conn: "Connection") -> None:
+    """The worker's command loop: one request in, one reply out, forever.
+
+    The parent speaks a strict request/response protocol over the pipe, so
+    the loop reads exactly one command at a time (in an executor thread —
+    the kernel keeps running between commands) and always answers with
+    ``("ok", payload)`` or ``("error", traceback)``.
+    """
+    worker = ShardWorker(spec)
+    loop = asyncio.get_running_loop()
+    port = await worker.transport.listen()
+    conn.send(("ready", {"shard": spec.shard, "port": port, "pids": worker.local_pids}))
+    running = True
+    while running:
+        command, payload = await loop.run_in_executor(None, conn.recv)
+        try:
+            result: Any = None
+            if command == "peers":
+                worker.transport.set_peers(payload)
+            elif command == "start":
+                await worker.runtime.start()
+                result = {"t0": time.perf_counter()}
+            elif command == "kill":
+                worker.runtime.crash(payload)
+            elif command == "restart":
+                worker.runtime.recover(payload)
+            elif command == "schedule_kill":
+                pid, at = payload
+                worker.runtime.scheduler.at(
+                    at, lambda: worker.runtime.crash(pid), label=f"kill P{pid}"
+                )
+            elif command == "schedule_restart":
+                pid, at = payload
+                worker.runtime.scheduler.at(
+                    at, lambda: worker.runtime.recover(pid), label=f"restart P{pid}"
+                )
+            elif command == "peer_down":
+                worker.notice_remote(payload, up=False)
+            elif command == "peer_up":
+                worker.notice_remote(payload, up=True)
+            elif command == "schedule_peer_down":
+                pid, at = payload
+                worker.notice_remote(pid, up=False, at=at)
+            elif command == "schedule_peer_up":
+                pid, at = payload
+                worker.notice_remote(pid, up=True, at=at)
+            elif command == "poll":
+                result = worker.poll()
+            elif command == "quiesce":
+                result = worker.quiesce()
+            elif command == "burst":
+                result = {"t_first": None}
+                if worker.local_pids:
+                    result["t_first"] = time.perf_counter()
+                    for pid in worker.local_pids:
+                        worker.procs[pid].burst(payload)
+            elif command == "bench_status":
+                result = worker.bench_status()
+            elif command == "summary":
+                result = worker.summary()
+            elif command == "shutdown":
+                # Freeze the kernel before tearing the transport down: a
+                # delivery timer firing during the transport's async
+                # teardown would make its node reply on a stopped
+                # transport and be recorded as a spurious callback error.
+                worker.runtime.scheduler.detach()
+                await worker.runtime.shutdown(raise_errors=False)
+                for storage in worker.storages.values():
+                    storage.flush()
+                worker.runtime.trace.close()
+                result = worker.summary()
+                running = False
+            else:
+                raise SimulationError(f"unknown worker command {command!r}")
+            conn.send(("ok", result))
+        except Exception:  # noqa: BLE001 - every failure goes back to the parent
+            conn.send(("error", traceback.format_exc()))
+    conn.close()
+
+
+def _worker_main(spec: WorkerSpec, conn: "Connection") -> None:
+    """Entry point of a spawned shard worker process."""
+    try:
+        asyncio.run(_worker_async(spec, conn))
+    except Exception:  # noqa: BLE001 - last-resort report before dying
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:  # pragma: no cover - parent already gone
+            pass
+
+
+# ----------------------------------------------------------------------
+# Parent-side front door
+# ----------------------------------------------------------------------
+
+@dataclass
+class _WorkerHandle:
+    """The parent's view of one worker: process + request pipe."""
+
+    shard: int
+    process: Any
+    conn: "Connection"
+    port: Optional[int] = None
+    pids: List[ProcessId] = field(default_factory=list)
+    final_summary: Optional[Dict[str, Any]] = None
+
+    def post(self, command: str, payload: Any = None) -> None:
+        self.conn.send((command, payload))
+
+    def wait(self, timeout: float = 120.0) -> Any:
+        deadline = time.monotonic() + timeout
+        while not self.conn.poll(0.05):
+            if not self.process.is_alive():
+                raise SimulationError(
+                    f"shard {self.shard} worker died (exit {self.process.exitcode})"
+                )
+            if time.monotonic() > deadline:
+                raise SimulationError(f"shard {self.shard} worker timed out")
+        status, payload = self.conn.recv()
+        if status == "error":
+            raise SimulationError(f"shard {self.shard} worker failed:\n{payload}")
+        return payload
+
+    def request(self, command: str, payload: Any = None, timeout: float = 120.0) -> Any:
+        self.post(command, payload)
+        return self.wait(timeout=timeout)
+
+
+class ShardedCluster:
+    """N protocol processes sharded across worker OS kernels.
+
+    The front door mirrors :class:`~repro.runtime.cluster.Cluster` — build,
+    ``start``, ``run_for``, ``kill``/``restart`` (or their ``schedule_*``
+    variants) by *pid* without knowing its shard, ``shutdown``,
+    ``merged_index``, ``summary`` — but each method is synchronous: the
+    cluster's kernels live in child processes and run in real time, so the
+    parent only paces and observes.
+
+    Construction performs the whole rendezvous: spawn workers, collect
+    their link-server ports, broadcast the shard address map.  After
+    ``start()`` every kernel is live and traffic flows; the parent's only
+    runtime duties are failure injection and polling.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        root: str,
+        shards: int,
+        seed: int = 0,
+        config: Optional[ProtocolConfig] = None,
+        time_scale: float = 0.05,
+        detector_latency: Optional[SimTime] = 2.0,
+        spoolers: bool = True,
+        delay: float = 0.5,
+        codec: str = "binary",
+        max_batch: int = 64,
+        loopback_codec: "bool | str" = "binary",
+        flush_every: int = 8,
+        trace_flush_every: int = 64,
+        workload: Optional[Dict[str, Any]] = None,
+        bench: bool = False,
+        host: str = "127.0.0.1",
+        ring_replicas: int = 64,
+        start_method: str = "spawn",
+    ) -> None:
+        if n < 2:
+            raise SimulationError("a cluster needs at least 2 nodes")
+        self.n = n
+        self.root = str(root)
+        self.shards = shards
+        self.time_scale = time_scale
+        self.ring = HashRing(shards, replicas=ring_replicas)
+        self.assignment = self.ring.assignment(list(range(n)))
+        os.makedirs(self.root, exist_ok=True)
+        context: "BaseContext" = get_context(start_method)
+        self._workers: List[_WorkerHandle] = []
+        self._started = False
+        self._down: set = set()
+        try:
+            for shard in range(shards):
+                parent_conn, child_conn = context.Pipe()
+                spec = WorkerSpec(
+                    shard=shard,
+                    shards=shards,
+                    n=n,
+                    seed=seed,
+                    root=os.path.join(self.root, f"shard-{shard}"),
+                    time_scale=time_scale,
+                    host=host,
+                    codec=codec,
+                    max_batch=max_batch,
+                    loopback_codec=loopback_codec,
+                    config=config,
+                    detector_latency=detector_latency,
+                    spoolers=spoolers,
+                    delay=delay,
+                    flush_every=flush_every,
+                    trace_flush_every=trace_flush_every,
+                    workload=workload,
+                    bench=bench,
+                    ring_replicas=ring_replicas,
+                )
+                process = context.Process(
+                    target=_worker_main, args=(spec, child_conn), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(_WorkerHandle(shard, process, parent_conn))
+            for worker in self._workers:
+                info = worker.wait(timeout=120.0)
+                worker.port = info["port"]
+                worker.pids = info["pids"]
+            addrs = {w.shard: (host, w.port) for w in self._workers}
+            self._broadcast("peers", lambda w: addrs)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Control-plane plumbing
+    # ------------------------------------------------------------------
+    def _broadcast(
+        self,
+        command: str,
+        payload_for: Callable[[_WorkerHandle], Any] = lambda w: None,
+        timeout: float = 120.0,
+    ) -> List[Any]:
+        """Post ``command`` to every worker, then gather every reply.
+
+        Posting everything before waiting keeps the workers in lockstep —
+        the start broadcast, notably, reaches all shards within a pipe
+        write of each other, which bounds inter-shard clock skew.
+        """
+        for worker in self._workers:
+            worker.post(command, payload_for(worker))
+        return [worker.wait(timeout=timeout) for worker in self._workers]
+
+    def owner(self, pid: ProcessId) -> _WorkerHandle:
+        """The worker whose kernel hosts ``pid``."""
+        if not 0 <= pid < self.n:
+            raise SimulationError(f"unknown pid P{pid}")
+        return self._workers[self.ring.shard_of(pid)]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot every kernel (near-)simultaneously."""
+        if self._started:
+            raise SimulationError("sharded cluster already started")
+        self._started = True
+        self._broadcast("start")
+
+    def run_for(self, duration: SimTime) -> None:
+        """Let the cluster run for ``duration`` protocol time units."""
+        time.sleep(duration * self.time_scale)
+
+    def wait_until(
+        self,
+        predicate: Callable[[List[Dict[str, Any]]], bool],
+        timeout: SimTime = 120.0,
+        what: str = "condition",
+        poll_every: float = 0.05,
+    ) -> List[Dict[str, Any]]:
+        """Poll every worker until ``predicate(polls)`` holds.
+
+        ``predicate`` sees the list of per-shard :meth:`ShardWorker.poll`
+        payloads; ``timeout`` is in protocol units, as in ``Cluster``.
+        """
+        deadline = time.monotonic() + timeout * self.time_scale
+        while True:
+            polls = self._broadcast("poll")
+            if predicate(polls):
+                return polls
+            if time.monotonic() > deadline:
+                raise SimulationError(
+                    f"timed out after {timeout} time units awaiting {what}"
+                )
+            time.sleep(poll_every)
+
+    def wait_until_committed(self, count: int = 2, timeout: SimTime = 120.0) -> None:
+        """Block until every live process has >= ``count`` committed checkpoints."""
+        def done(polls: List[Dict[str, Any]]) -> bool:
+            for poll in polls:
+                for pid, committed in poll["committed"].items():
+                    if poll["alive"].get(pid, True) and committed < count:
+                        return False
+            return True
+
+        self.wait_until(done, timeout=timeout, what=f"{count} committed checkpoints")
+
+    def quiesce(self, drain_timeout: SimTime = 60.0) -> None:
+        """Stop autonomous initiation everywhere, then drain open instances.
+
+        After this returns, no checkpoint/rollback tree is mid-2PC anywhere
+        in the cluster, so a subsequent :meth:`shutdown` never cuts a run
+        between the root's commit and a cohort's — the merged trace's
+        recovery line is a settled one.  Bench-mode clusters (no engines)
+        return immediately.
+        """
+        switched = self._broadcast("quiesce")
+        if not any(switched):
+            return
+        self.wait_until(
+            lambda polls: sum(p["open_instances"] for p in polls) == 0,
+            timeout=drain_timeout,
+            what="open instances to drain",
+        )
+
+    def shutdown(self) -> None:
+        """Stop every kernel, collect final summaries, reap the workers."""
+        for worker in self._workers:
+            if worker.final_summary is None and worker.process.is_alive():
+                worker.final_summary = worker.request("shutdown")
+        for worker in self._workers:
+            worker.process.join(timeout=30.0)
+        self.close()
+
+    def close(self) -> None:
+        """Hard-stop any still-running workers (idempotent; error cleanup)."""
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=10.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    # ------------------------------------------------------------------
+    # Failure injection (by pid; the shard is the cluster's business)
+    # ------------------------------------------------------------------
+    def kill(self, pid: ProcessId) -> None:
+        """Crash ``pid`` on its owning shard; notify every other shard."""
+        owner = self.owner(pid)
+        owner.post("kill", pid)
+        for worker in self._workers:
+            if worker is not owner:
+                worker.post("peer_down", pid)
+        for worker in self._workers:
+            worker.wait()
+        self._down.add(pid)
+
+    def restart(self, pid: ProcessId) -> None:
+        """Recover ``pid`` from its shard-local stable storage."""
+        owner = self.owner(pid)
+        owner.post("restart", pid)
+        for worker in self._workers:
+            if worker is not owner:
+                worker.post("peer_up", pid)
+        for worker in self._workers:
+            worker.wait()
+        self._down.discard(pid)
+
+    def schedule_kill(self, pid: ProcessId, at: SimTime) -> None:
+        """Arrange a kill at kernel time ``at`` (call before :meth:`start`)."""
+        owner = self.owner(pid)
+        owner.post("schedule_kill", (pid, at))
+        for worker in self._workers:
+            if worker is not owner:
+                worker.post("schedule_peer_down", (pid, at))
+        for worker in self._workers:
+            worker.wait()
+
+    def schedule_restart(self, pid: ProcessId, at: SimTime) -> None:
+        """Arrange a restart at kernel time ``at`` (call before :meth:`start`)."""
+        owner = self.owner(pid)
+        owner.post("schedule_restart", (pid, at))
+        for worker in self._workers:
+            if worker is not owner:
+                worker.post("schedule_peer_up", (pid, at))
+        for worker in self._workers:
+            worker.wait()
+
+    # ------------------------------------------------------------------
+    # Bench drive (the E-SCALE shards axis)
+    # ------------------------------------------------------------------
+    def burst(self, count: int) -> float:
+        """Make every bench node send ``count`` envelopes; returns the
+        earliest send timestamp (``time.perf_counter`` domain, comparable
+        across processes on Linux)."""
+        stamps = [r["t_first"] for r in self._broadcast("burst", lambda w: count)]
+        stamps = [s for s in stamps if s is not None]
+        if not stamps:
+            raise SimulationError("no bench nodes sent anything")
+        return min(stamps)
+
+    def wait_drained(self, expected_total: int, timeout: float = 120.0) -> float:
+        """Block until ``expected_total`` deliveries happened cluster-wide;
+        returns the latest delivery timestamp."""
+        deadline = time.monotonic() + timeout
+        while True:
+            stats = self._broadcast("bench_status")
+            received = sum(s["received"] for s in stats)
+            if received >= expected_total:
+                stamps = [s["last_delivery"] for s in stats if s["last_delivery"]]
+                return max(stamps)
+            if time.monotonic() > deadline:
+                raise SimulationError(
+                    f"bench drain stuck at {received}/{expected_total} envelopes"
+                )
+            time.sleep(0.01)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def trace_paths(self) -> List[str]:
+        """Every per-node JSONL trace shard across all shard directories."""
+        return sorted(glob.glob(os.path.join(self.root, "shard-*", "trace", "*.jsonl")))
+
+    def merged_index(self) -> "TraceIndex":
+        """Stitch every shard's trace files into one queryable index.
+
+        Call after :meth:`shutdown` (the streams must be flushed); also
+        usable on the debris of a crashed run — partial tail lines are
+        tolerated and counted on the index.
+        """
+        from repro.analysis.index import TraceIndex
+
+        return TraceIndex.from_jsonl_files(self.trace_paths())
+
+    def committed_counts(self) -> Dict[ProcessId, int]:
+        """Committed checkpoints per process, merged across shards."""
+        counts: Dict[ProcessId, int] = {}
+        for worker in self._workers:
+            source = worker.final_summary
+            poll = source if source is not None else worker.request("poll")
+            counts.update(poll["committed"])
+        return counts
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregated counters plus the per-shard sub-summaries."""
+        per_shard = []
+        for worker in self._workers:
+            if worker.final_summary is not None:
+                per_shard.append(worker.final_summary)
+            else:
+                per_shard.append(worker.request("summary"))
+        totals = {
+            key: sum(s[key] for s in per_shard)
+            for key in (
+                "normal_sent", "control_sent", "delivered", "dropped", "spooled",
+                "trace_events", "frames_sent", "frames_received", "batches_sent",
+                "bytes_sent", "intra_delivered", "misrouted",
+            )
+        }
+        return {
+            **totals,
+            "nodes": self.n,
+            "shards": self.shards,
+            "cpus": visible_cpus(),
+            "now": max(s["now"] for s in per_shard),
+            "committed": {
+                str(pid): count
+                for s in per_shard for pid, count in s["committed"].items()
+            },
+            "timer_errors": sum(len(s["timer_errors"]) for s in per_shard),
+            "per_shard": per_shard,
+        }

@@ -44,7 +44,8 @@ a drop, which the resilient protocol tolerates by design.
 from __future__ import annotations
 
 import asyncio
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+import socket
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
 
 from repro.errors import TransportError, WireError
 from repro.net.message import Envelope
@@ -120,6 +121,27 @@ class Transport:
             priority=getattr(envelope.body, "priority", PRIORITY_NORMAL),
             label=f"deliver P{envelope.src}->P{envelope.dst}",
         )
+
+
+def listening_socket(host: str, port: int) -> socket.socket:
+    """A bound TCP listening socket with ``SO_REUSEADDR`` set.
+
+    Every server endpoint in the runtime (per-pid TCP servers, shard link
+    servers) binds through this helper.  ``SO_REUSEADDR`` matters for the
+    kill/restart path: a restarted endpoint reopens its *original* port,
+    and without the option the previous generation's connections lingering
+    in ``TIME_WAIT`` make the bind fail intermittently with ``EADDRINUSE``
+    — exactly the rapid-cycle shape sharded load produces.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.setblocking(False)
+    except OSError:
+        sock.close()
+        raise
+    return sock
 
 
 def _codec_version(codec: "bool | str") -> Optional[int]:
@@ -208,6 +230,13 @@ class TcpTransport(Transport):
         self.frames_received = 0
         self.batches_sent = 0
         self.bytes_sent = 0
+        # A "generation" spans from one endpoint restart to the next; the
+        # cumulative counters above are also snapshotted per generation so a
+        # cluster summary can attribute traffic to node lifetimes instead of
+        # silently accumulating across them.
+        self.generation = 0
+        self._generation_closed: List[Dict[str, Any]] = []
+        self._generation_base = (0, 0, 0, 0)  # frames, batches, bytes, received
 
     def _advertised(self, pid: "ProcessId") -> int:
         """The wire version ``pid``'s server advertises in its hello."""
@@ -218,6 +247,16 @@ class TcpTransport(Transport):
     # ------------------------------------------------------------------
     async def start(self) -> None:
         await super().start()
+        # A transport (re)start is a fresh deployment: zero the traffic
+        # counters rather than letting a previous run's totals leak into
+        # this one's summary.
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.batches_sent = 0
+        self.bytes_sent = 0
+        self.generation = 0
+        self._generation_closed = []
+        self._generation_base = (0, 0, 0, 0)
         for pid in self.runtime.process_ids:
             await self._open_server(pid)
 
@@ -231,7 +270,9 @@ class TcpTransport(Transport):
             writer.write(wire.pack_hello(self._advertised(pid)))
             await self._serve_connection(pid, reader, writer)
 
-        server = await asyncio.start_server(handle, host=self.host, port=port)
+        server = await asyncio.start_server(
+            handle, sock=listening_socket(self.host, port)
+        )
         self._servers[pid] = server
         self._accepted.setdefault(pid, set())
         self.ports[pid] = server.sockets[0].getsockname()[1]
@@ -281,7 +322,44 @@ class TcpTransport(Transport):
         if pid not in self._down:
             raise TransportError(f"P{pid} is not disconnected")
         self._down.discard(pid)
+        self._close_generation(pid)
         await self._open_server(pid)
+
+    # ------------------------------------------------------------------
+    # Per-generation counters
+    # ------------------------------------------------------------------
+    def _counters_since_base(self) -> Dict[str, int]:
+        frames, batches, size, received = self._generation_base
+        return {
+            "frames_sent": self.frames_sent - frames,
+            "batches_sent": self.batches_sent - batches,
+            "bytes_sent": self.bytes_sent - size,
+            "frames_received": self.frames_received - received,
+        }
+
+    def _close_generation(self, pid: "ProcessId") -> None:
+        """Snapshot the counters accumulated since the last endpoint restart."""
+        self._generation_closed.append(
+            {"generation": self.generation, "restarted_pid": pid,
+             **self._counters_since_base()}
+        )
+        self._generation_base = (
+            self.frames_sent, self.batches_sent, self.bytes_sent,
+            self.frames_received,
+        )
+        self.generation += 1
+
+    def generation_summary(self) -> List[Dict[str, Any]]:
+        """Traffic counters split at endpoint restarts.
+
+        One row per closed generation (``restarted_pid`` names the restart
+        that ended it) plus the still-open one (``restarted_pid`` None).
+        Rows sum to the cumulative ``frames/batches/bytes`` counters, so
+        nothing accumulates invisibly across node generations.
+        """
+        open_row = {"generation": self.generation, "restarted_pid": None,
+                    **self._counters_since_base()}
+        return [*self._generation_closed, open_row]
 
     # ------------------------------------------------------------------
     # Send path

@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from dataclasses import field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.compat import slotted_dataclass
 from repro.types import MessageId, ProcessId, SimTime, TreeId
@@ -187,8 +187,22 @@ def decode_event(payload: Dict[str, Any]) -> TraceEvent:
     )
 
 
-def load_jsonl(path: str) -> List[TraceEvent]:
-    """Reload a :class:`JsonlStreamSink` file into its event sequence."""
+def load_jsonl(path: str, tolerate_truncated_tail: bool = False) -> List[TraceEvent]:
+    """Reload a :class:`JsonlStreamSink` file into its event sequence.
+
+    With ``tolerate_truncated_tail`` a *final* line that fails to parse is
+    skipped instead of raising — the exact artifact a killed writer leaves
+    behind when it dies mid-flush (the buffered sink writes whole lines, but
+    the OS may persist only a prefix of the last write).  Corruption
+    anywhere *before* the tail still raises: that is not a crash artifact
+    but a damaged file, and silently resuming past it would desynchronise
+    every index the trace feeds.  Use :func:`load_jsonl_tolerant` to also
+    learn how many tail lines were dropped.
+    """
+    return load_jsonl_tolerant(path)[0] if tolerate_truncated_tail else _load_strict(path)
+
+
+def _load_strict(path: str) -> List[TraceEvent]:
     events: List[TraceEvent] = []
     with open(path) as handle:
         for line in handle:
@@ -196,6 +210,31 @@ def load_jsonl(path: str) -> List[TraceEvent]:
             if line:
                 events.append(decode_event(json.loads(line)))
     return events
+
+
+def load_jsonl_tolerant(path: str) -> Tuple[List[TraceEvent], int]:
+    """Like :func:`load_jsonl`, returning ``(events, truncated_tail_lines)``.
+
+    ``truncated_tail_lines`` is 1 when the file ends in a partial record
+    (0 otherwise); merge tooling surfaces the count so a multi-shard
+    analysis knows events were lost to a crash rather than pretending the
+    stream ended cleanly.
+    """
+    events: List[TraceEvent] = []
+    with open(path) as handle:
+        lines = handle.readlines()
+    for lineno, raw in enumerate(lines):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if any(rest.strip() for rest in lines[lineno + 1:]):
+                raise  # interior corruption: not a crash tail
+            return events, 1
+        events.append(decode_event(payload))
+    return events, 0
 
 
 # ----------------------------------------------------------------------

@@ -64,12 +64,26 @@ class RandomPeerWorkload(Workload):
         window.discard(pid)
         return sorted(window)
 
-    def install(self, sim: "Simulation", procs: Dict[ProcessId, ProtocolDriver]) -> None:
+    def install(
+        self,
+        sim: "Simulation",
+        procs: Dict[ProcessId, ProtocolDriver],
+        peers: List[ProcessId] = None,
+    ) -> None:
+        """Schedule traffic for every process in ``procs``.
+
+        ``peers`` widens the destination population beyond ``procs`` — a
+        sharded worker installs the workload for its *local* processes only
+        but must still address the whole cluster.  Because every arrival
+        and peer-choice stream is keyed by pid, the schedule each process
+        gets is identical whether its shard hosts 1 process or all of them.
+        """
         pids: List[ProcessId] = sorted(procs)
+        all_pids: List[ProcessId] = sorted(peers) if peers is not None else pids
         for pid in pids:
             proc = procs[pid]
             peer_stream = sim.rng.stream(self.name, "peer", pid)
-            others = self._peers_of(pid, pids)
+            others = self._peers_of(pid, all_pids)
             if not others:
                 continue
             for k, t in enumerate(

@@ -104,3 +104,30 @@ def test_trace_records_suspend_resume_pairs():
     resumes = sim.trace.for_process(1, T.K_RESUME_SEND)
     assert len(suspends) == len(resumes) == 1
     assert suspends[0].time <= resumes[0].time
+
+
+def test_quiesce_switch_stops_autonomous_initiation():
+    # The host-settable quiesce switch: once off, the checkpoint timer
+    # keeps re-arming but opens no new trees — this is how a live cluster
+    # drains every in-flight 2PC round before cutting a run.  Flipping it
+    # back on resumes initiation from the still-armed timer.
+    from repro.core import ProtocolConfig
+
+    sim, procs = build_sim(n=2, config=ProtocolConfig(checkpoint_interval=5.0))
+
+    def starts():
+        return sum(1 for e in sim.trace.events if e.kind == T.K_INSTANCE_START)
+
+    sim.run(until=12.0)
+    before = starts()
+    assert before > 0
+
+    for p in procs.values():
+        p.engine.autonomous_checkpoints = False
+    sim.run(until=40.0)
+    assert starts() == before
+
+    for p in procs.values():
+        p.engine.autonomous_checkpoints = True
+    sim.run(until=60.0)
+    assert starts() > before

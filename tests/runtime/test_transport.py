@@ -255,3 +255,101 @@ def test_tcp_rejects_bad_knobs():
         TcpTransport(codec=None)
     with pytest.raises(TransportError):
         LoopbackTransport(codec="morse")
+
+
+def test_tcp_rapid_restart_cycles_reuse_the_endpoint():
+    # Ten kill/restart cycles of the same pid, each rebinding the same
+    # port immediately.  Without SO_REUSEADDR the rebind intermittently
+    # hits EADDRINUSE while the previous socket lingers in TIME_WAIT.
+    transport = TcpTransport()
+    runtime, nodes = build(transport, n=2, delay=FixedDelay(0.0))
+
+    async def scenario():
+        await runtime.start()
+        port = transport.ports[1]
+        for cycle in range(10):
+            runtime.crash(1)
+            transport.disconnect(1)
+            await transport.reconnect(1)
+            runtime.recover(1)
+            assert transport.ports[1] == port  # endpoint identity survives
+            nodes[0].send(envelope(0, 1, cycle))
+            await runtime.wait_until(
+                lambda want=cycle + 1: len(nodes[1].received) == want,
+                timeout=60.0, what=f"delivery after restart {cycle}",
+            )
+        await runtime.shutdown()
+
+    run(scenario())
+    assert [e.msg_id.send_index for e in nodes[1].received] == list(range(10))
+
+
+def test_tcp_generation_counters_reset_per_restart():
+    # Wire counters are per node generation: a restart closes the current
+    # generation's row, and the open tail row plus the closed rows always
+    # sum to the cumulative totals — nothing accumulates silently across
+    # generations.
+    transport = TcpTransport(max_batch=8)
+    runtime, nodes = build(transport, n=2, delay=FixedDelay(0.0))
+
+    async def scenario():
+        await runtime.start()
+        for i in range(4):
+            nodes[0].send(envelope(0, 1, i))
+        await runtime.wait_until(
+            lambda: len(nodes[1].received) == 4, timeout=60.0, what="first burst"
+        )
+
+        runtime.crash(1)
+        transport.disconnect(1)
+        await transport.reconnect(1)
+        runtime.recover(1)
+
+        for i in range(4, 6):
+            nodes[0].send(envelope(0, 1, i))
+        await runtime.wait_until(
+            lambda: len(nodes[1].received) == 6, timeout=60.0, what="second burst"
+        )
+        await runtime.shutdown()
+
+    run(scenario())
+    generations = transport.generation_summary()
+    assert [g["generation"] for g in generations] == [0, 1]
+    closed, tail = generations
+    assert closed["restarted_pid"] == 1
+    assert tail["restarted_pid"] is None
+    assert closed["frames_sent"] == 4
+    assert tail["frames_sent"] == 2
+    for key in ("frames_sent", "batches_sent", "bytes_sent", "frames_received"):
+        assert sum(g[key] for g in generations) == getattr(
+            transport, key if key != "frames_received" else "frames_received"
+        )
+    assert closed["bytes_sent"] > 0 and tail["bytes_sent"] > 0
+
+
+def test_tcp_counters_reset_on_transport_restart():
+    # Stopping and starting the whole transport is a fresh deployment:
+    # cumulative counters and the generation ledger restart from zero.
+    transport = TcpTransport()
+    runtime, nodes = build(transport, n=2, delay=FixedDelay(0.0))
+
+    async def scenario():
+        await runtime.start()
+        nodes[0].send(envelope(0, 1, 0))
+        await runtime.wait_until(
+            lambda: len(nodes[1].received) == 1, timeout=60.0, what="delivery"
+        )
+        runtime.crash(1)
+        transport.disconnect(1)
+        await transport.reconnect(1)
+        runtime.recover(1)
+        assert transport.generation == 1
+        await transport.stop()
+        await transport.start()
+        await transport.stop()
+
+    run(scenario())
+    assert transport.frames_sent == 0
+    assert transport.bytes_sent == 0
+    assert transport.generation == 0
+    assert transport.generation_summary()[-1]["frames_sent"] == 0
