@@ -1,0 +1,73 @@
+"""E-APP — checkpoint-as-a-service rows + ``BENCH_APP.json``.
+
+Runs the :mod:`repro.bench.app` sweep (checkpoint interval × job count ×
+kills, plus one live-kernel witness row) and gates the subsystem's core
+claims on every row:
+
+* the job-outcome audit reports **zero** committed-stage re-executions —
+  a stage acknowledged as committed never runs twice, at any sweep point;
+* with kills enabled, checkpointed runs re-execute **strictly less** work
+  than the from-scratch baseline (birth checkpoint only): the measured
+  resume savings the paper's incremental checkpoints exist to buy;
+* kills-disabled rows re-execute nothing at all.
+
+The rows merge into ``BENCH_APP.json`` under the ``eapp`` key.  CI runs
+this with ``EAPP_QUICK=1``; the committed artifact comes from the full
+sweep (jobs up to 1000).
+"""
+
+import json
+import pathlib
+
+from repro.bench.app import experiment_app, quick_mode
+from repro.bench.harness import format_table, print_experiment, rows_to_json
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_APP.json"
+
+
+def merge_artifact(key, payload):
+    data = {}
+    if ARTIFACT.exists():
+        data = json.loads(ARTIFACT.read_text())
+    data[key] = payload
+    ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_app_service_sweep(run_once):
+    rows = run_once(experiment_app)
+    print_experiment("E-APP", format_table(rows))
+
+    assert rows, "eapp rows missing"
+    for row in rows:
+        # The headline invariant, at every sweep point on both kernels:
+        # no committed stage ever re-executed.
+        assert row["stage_reexec_violations"] == 0, row
+        # Every submitted job completed and its completion became durable
+        # (covered by a committed checkpoint) before the run was cut.
+        assert row["jobs_done"] == row["jobs"], row
+        assert row["jobs_durable"] == row["jobs"], row
+        if row["kills"] == 0:
+            # No failures -> no re-execution, nothing to salvage.
+            assert row["reexec"] == 0, row
+        if row["kernel"] == "live":
+            assert row["c1"] is True, row
+
+    kill_rows = [r for r in rows if r["kernel"] == "sim" and r["kills"] > 0]
+    assert kill_rows, "no kills-enabled sweep point"
+    for row in kill_rows:
+        # Restarts salvaged checkpointed progress...
+        assert row["salvaged"] > 0, row
+        # ...and re-executed strictly less than a from-scratch rerun of the
+        # same kill scenario: the measured resume savings.
+        assert row["reexec"] < row["reexec_scratch"], row
+    if not quick_mode():
+        # The full sweep must include the >=1000-concurrent-job audit point.
+        assert any(r["jobs"] >= 1000 for r in kill_rows)
+
+    merge_artifact(
+        "eapp",
+        {
+            "title": "E-APP — checkpoint-as-a-service job workload",
+            "rows": rows_to_json(rows),
+        },
+    )

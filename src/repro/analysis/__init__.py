@@ -25,6 +25,7 @@ from repro.analysis.domino import (
 )
 from repro.analysis.happens_before import HappensBefore
 from repro.analysis.index import ManifestView, TraceIndex, as_index
+from repro.analysis.jobs import audit_jobs
 from repro.analysis.minimality import (
     check_checkpoint_minimality,
     check_rollback_minimality,
@@ -39,6 +40,7 @@ __all__ = [
     "RunStats",
     "TraceIndex",
     "as_index",
+    "audit_jobs",
     "check_app_states",
     "check_c1",
     "check_c1_from_trace",

@@ -1,0 +1,154 @@
+"""Job-outcome audit: replay the merged trace against checkpoint history.
+
+The app layer's correctness claim is *exactly-once execution of committed
+work*: after any mix of crashes, restarts and rollbacks, no stage completion
+covered by a surviving (committed, never-rolled-past) checkpoint is ever
+executed again, and no undone unit's effect survives.  This module verifies
+the first half offline, from the merged :class:`~repro.analysis.index.
+TraceIndex` alone — the same artifact a real deployment would audit.
+
+Method: every tracked job mutation is traced by the hosting engine
+(``job_submit`` / ``job_unit`` / ``job_stage`` / ``job_done``), every
+checkpoint snapshot by ``chkpt_tentative`` (carrying its ``seq``), and every
+restore by ``rollback`` (carrying ``to_seq``).  Because a single process's
+events keep their emission order in the merged index, a rollback to ``seq``
+undoes precisely the job events recorded *after* that seq's snapshot event —
+so the audit marks them dead and checks that a stage completion never
+duplicates one still alive.  The live/dead unit counts double as the resume
+accounting the E-APP benchmark reports (units salvaged by restoring the
+recovery line vs. units undone and re-executed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.index import BIRTH_SEQ, TraceIndex
+from repro.tracekinds import (
+    K_CHKPT_TENTATIVE,
+    K_JOB_DONE,
+    K_JOB_STAGE,
+    K_JOB_SUBMIT,
+    K_JOB_UNIT,
+    K_ROLLBACK,
+)
+from repro.types import ProcessId
+
+_JOB_KINDS = (K_JOB_SUBMIT, K_JOB_UNIT, K_JOB_STAGE, K_JOB_DONE)
+
+
+@dataclass
+class _Entry:
+    """One traced job event and whether any later rollback undid it."""
+
+    index: int
+    kind: str
+    job: str
+    stage: Optional[int] = None
+    alive: bool = True
+
+
+@dataclass
+class _HostAudit:
+    """Per-hosting-process replay state."""
+
+    snap_index: Dict[Any, int] = field(default_factory=dict)
+    entries: List[_Entry] = field(default_factory=list)
+    rollbacks: int = 0
+    units_undone: int = 0
+    units_salvaged: int = 0
+    violations: List[str] = field(default_factory=list)
+
+
+def audit_jobs(
+    index: TraceIndex, pids: Optional[List[ProcessId]] = None
+) -> Dict[str, Any]:
+    """Audit every hosted job in a merged trace.
+
+    Returns an aggregate report; ``committed_stage_reexecutions`` must be 0
+    for a correct run, ``units_salvaged`` > 0 is the measurable witness
+    that a restart *resumed* from the recovery line instead of starting
+    over.  ``pids`` restricts the audit to those hosting processes.
+    """
+    hosts: Dict[ProcessId, _HostAudit] = {}
+    events = sorted(
+        index.by_kind(*_JOB_KINDS, K_ROLLBACK, K_CHKPT_TENTATIVE),
+        key=lambda e: e.index,
+    )
+    for ev in events:
+        if ev.pid is None or (pids is not None and ev.pid not in pids):
+            continue
+        host = hosts.setdefault(ev.pid, _HostAudit())
+        if ev.kind == K_CHKPT_TENTATIVE:
+            host.snap_index[ev.fields["seq"]] = ev.index
+            continue
+        if ev.kind == K_ROLLBACK:
+            # The birth checkpoint (seq 1) predates every traced event.
+            cutoff = host.snap_index.get(ev.fields["to_seq"], -1)
+            if ev.fields["to_seq"] == BIRTH_SEQ:
+                cutoff = -1
+            host.rollbacks += 1
+            for entry in host.entries:
+                if not entry.alive:
+                    continue
+                if entry.index > cutoff:
+                    entry.alive = False
+                    if entry.kind == K_JOB_UNIT:
+                        host.units_undone += 1
+                elif entry.kind == K_JOB_UNIT:
+                    host.units_salvaged += 1
+            continue
+        job = ev.fields["job"]
+        stage = ev.fields.get("stage")
+        if ev.kind == K_JOB_STAGE:
+            for entry in host.entries:
+                if (
+                    entry.alive
+                    and entry.kind == K_JOB_STAGE
+                    and entry.job == job
+                    and entry.stage == stage
+                ):
+                    host.violations.append(
+                        f"P{ev.pid}: stage {stage} of job {job!r} completed "
+                        f"again at trace index {ev.index} although its prior "
+                        f"completion (index {entry.index}) was never rolled back"
+                    )
+        host.entries.append(
+            _Entry(index=ev.index, kind=ev.kind, job=job, stage=stage)
+        )
+
+    violations: List[str] = []
+    report: Dict[str, Any] = {
+        "hosts": len(hosts),
+        "jobs_submitted": 0,
+        "jobs_done": 0,
+        "units_executed": 0,
+        "units_live": 0,
+        "units_undone": 0,
+        "units_salvaged": 0,
+        "stages_done": 0,
+        "rollbacks": 0,
+    }
+    for host in hosts.values():
+        violations.extend(host.violations)
+        report["rollbacks"] += host.rollbacks
+        report["units_undone"] += host.units_undone
+        report["units_salvaged"] += host.units_salvaged
+        submitted = set()
+        done = set()
+        for entry in host.entries:
+            if entry.kind == K_JOB_SUBMIT:
+                submitted.add(entry.job)
+            elif entry.kind == K_JOB_UNIT:
+                report["units_executed"] += 1
+                report["units_live"] += 1 if entry.alive else 0
+            elif entry.kind == K_JOB_STAGE and entry.alive:
+                report["stages_done"] += 1
+            elif entry.kind == K_JOB_DONE and entry.alive:
+                done.add(entry.job)
+        report["jobs_submitted"] += len(submitted)
+        report["jobs_done"] += len(done)
+    report["violations"] = violations
+    report["committed_stage_reexecutions"] = len(violations)
+    return report

@@ -1,0 +1,43 @@
+"""Checkpoint-as-a-service: jobs whose state the protocol actually protects.
+
+``repro.app`` is the client-facing layer over the Leu-Bhargava machinery:
+long-running staged jobs register mutable state with a hosting protocol node
+(:class:`~repro.app.state.AppHost`), mutate it only through the engine's
+tracked ``AppOp`` path, and therefore get crash-consistent progress for
+free — every checkpoint snapshots the job table, every rollback or Section 6
+recovery restores it to the recovery line, and a restarted host *resumes*
+from its last committed cursor instead of starting over.
+
+Pieces:
+
+* :class:`~repro.app.state.AppHost` / :class:`~repro.app.state.AppProcess`
+  — the hosted application state and a drop-in protocol process class;
+* :class:`~repro.app.driver.JobSpec` / :class:`~repro.app.driver.JobHandle`
+  / :class:`~repro.app.driver.JobDriver` — submission API and the
+  kernel-side execution pump with its per-job ledger;
+* :class:`~repro.app.traffic.JobTraffic` — the open-loop many-client
+  traffic generator, shard-distributable like any workload;
+* :func:`~repro.analysis.jobs.audit_jobs` (analysis layer) — the offline
+  job-outcome audit over the merged trace;
+* ``python -m repro.app`` — a live kill/restart demo asserting
+  resumed-not-restarted plus C1 on the merged trace.
+
+The same workload runs unmodified on the simulator, the single-process
+:class:`~repro.runtime.cluster.Cluster` and the multi-process
+:class:`~repro.runtime.shard.ShardedCluster` (pass ``app=dict(...)``).
+"""
+
+from repro.app.driver import JobDriver, JobHandle, JobSpec
+from repro.app.state import AppHost, AppProcess, completed_record, fold_unit
+from repro.app.traffic import JobTraffic
+
+__all__ = [
+    "AppHost",
+    "AppProcess",
+    "JobDriver",
+    "JobHandle",
+    "JobSpec",
+    "JobTraffic",
+    "completed_record",
+    "fold_unit",
+]

@@ -1,0 +1,235 @@
+"""Job submission and execution: the client side of checkpoint-as-a-service.
+
+A :class:`JobDriver` is the kernel-side pump that executes hosted jobs unit
+by unit.  It is deliberately **outside** the checkpointed state — like a
+client library retrying against a service — so it survives its host's
+crashes.  Each tick it reads the job's hosted progress cursor through the
+serving process's application and applies the next unit as a tracked
+``app_op`` mutation.  That makes resume automatic and state-driven:
+
+* while the host is crashed, ticks back off and retry;
+* after a restart, the Section 6 recovery restores the app table from the
+  recovery line, so the next tick reads the *restored* cursor and continues
+  from there — work covered by the last committed checkpoint is never
+  re-executed, work past it (and only that) is;
+* if a rollback undid the submission itself, the driver resubmits
+  (``submit`` is idempotent on the host).
+
+The driver's per-job ledger (:class:`JobHandle`) records what physically
+happened — submit/complete times, units executed including re-execution —
+which is exactly what the E-APP benchmark compares against the logical work
+(``sum(stages)``) to measure checkpoint resume savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.types import ProcessId, SimTime
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One staged pipeline job: where it runs and how much work it is."""
+
+    job: str
+    host: ProcessId
+    stages: Tuple[int, ...]
+    submit_at: SimTime = 0.0
+
+    @property
+    def total_units(self) -> int:
+        return sum(self.stages)
+
+
+class JobHandle:
+    """The driver-side ledger entry (and client handle) for one job."""
+
+    def __init__(self, spec: JobSpec, driver: "JobDriver") -> None:
+        self.spec = spec
+        self._driver = driver
+        self.submitted_at: Optional[SimTime] = None
+        self.completed_at: Optional[SimTime] = None
+        self.durable_at: Optional[SimTime] = None
+        self.units_executed = 0
+        self.retries = 0        # ticks skipped because the host was down
+        self.resubmits = 0      # submissions re-issued after deep rollbacks
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def durable(self) -> bool:
+        """Completion is covered by a committed checkpoint: no rollback can
+        undo it, so the driver has stopped watching this job."""
+        return self.durable_at is not None
+
+    @property
+    def latency(self) -> Optional[SimTime]:
+        """Submit-to-complete time in protocol units (``None`` if running)."""
+        if self.submitted_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def reexecuted_units(self) -> int:
+        """Units run more than once (rollback re-execution), 0 if unfinished."""
+        if not self.done:
+            return 0
+        return self.units_executed - self.spec.total_units
+
+    def progress(self) -> Optional[Tuple[int, int]]:
+        """Live ``(stage, cursor)`` read from the hosting node's app."""
+        return self._driver.host_app(self.spec.host).progress(self.spec.job)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return (
+            f"<JobHandle {self.spec.job}@P{self.spec.host} {state} "
+            f"executed={self.units_executed}/{self.spec.total_units}>"
+        )
+
+
+class JobDriver:
+    """Executes submitted jobs against their hosting nodes, one unit a tick.
+
+    ``sim`` is any kernel with a ``scheduler.at`` and ``now`` (the
+    discrete-event :class:`~repro.sim.simulation.Simulation` or the live
+    :class:`~repro.runtime.loop.AsyncRuntime`); ``procs`` the protocol
+    processes this driver can reach (a shard passes only its local slice).
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        procs: Dict[ProcessId, Any],
+        unit_time: SimTime = 0.25,
+        retry: SimTime = 1.0,
+        horizon: Optional[SimTime] = None,
+    ) -> None:
+        self.sim = sim
+        self.procs = procs
+        self.unit_time = unit_time
+        self.retry = retry
+        self.horizon = horizon
+        self.handles: Dict[str, JobHandle] = {}
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Register a job; its first tick fires at ``spec.submit_at``."""
+        if spec.host not in self.procs:
+            raise KeyError(
+                f"job {spec.job!r} placed on P{spec.host}, which this driver "
+                f"does not reach (hosts: {sorted(self.procs)})"
+            )
+        handle = JobHandle(spec, self)
+        self.handles[spec.job] = handle
+        self.sim.scheduler.at(
+            spec.submit_at,
+            lambda: self._tick(handle),
+            label=f"job {spec.job} tick",
+        )
+        return handle
+
+    def host_app(self, pid: ProcessId) -> Any:
+        return self.procs[pid].app
+
+    # ------------------------------------------------------------------
+    # The pump
+    # ------------------------------------------------------------------
+    def _later(self, handle: JobHandle, delay: SimTime) -> None:
+        at = self.sim.now + delay
+        if self.horizon is not None and at >= self.horizon:
+            return  # give up: the run is being cut; the job stays incomplete
+        self.sim.scheduler.at(
+            at, lambda: self._tick(handle), label=f"job {handle.spec.job} tick"
+        )
+
+    def _tick(self, handle: JobHandle) -> None:
+        spec = handle.spec
+        proc = self.procs[spec.host]
+        if proc.crashed:
+            handle.retries += 1
+            self._later(handle, self.retry)
+            return
+        record = proc.app.jobs.get(spec.job)
+        if record is None:
+            # First contact — or a rollback undid the submission itself.
+            if handle.submitted_at is not None:
+                handle.resubmits += 1
+            else:
+                handle.submitted_at = self.sim.now
+            proc.app_op(("submit", spec.job, spec.stages))
+            self._later(handle, self.unit_time)
+            return
+        if record["done"]:
+            self._watch_completion(handle, proc)
+            return
+        handle.completed_at = None  # a rollback un-did a completion we saw
+        proc.app_op(("unit", spec.job))
+        handle.units_executed += 1
+        record = proc.app.jobs.get(spec.job)
+        if record is not None and record["done"]:
+            self._watch_completion(handle, proc)
+            return
+        self._later(handle, self.unit_time)
+
+    def _watch_completion(self, handle: JobHandle, proc: Any) -> None:
+        """A completion is only *durable* once a committed checkpoint covers
+        it; until then a crash-restart rollback could undo it, so the driver
+        keeps watching (a client retrying until the service acks durability)
+        and re-drives the job if its state regresses."""
+        if handle.completed_at is None:
+            handle.completed_at = self.sim.now
+        if self._completion_committed(proc, handle.spec.job):
+            if handle.durable_at is None:
+                handle.durable_at = self.sim.now
+            return
+        self._later(handle, self.retry)
+
+    @staticmethod
+    def _completion_committed(proc: Any, job: str) -> bool:
+        store = getattr(proc.engine, "store", None)
+        committed = getattr(store, "oldchkpt", None)
+        if committed is None:
+            return False
+        record = committed.state.get("jobs", {}).get(job)
+        return record is not None and record["done"]
+
+    # ------------------------------------------------------------------
+    # Ledger roll-up
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """Aggregate ledger: completion, latency, goodput inputs, re-execution."""
+        handles = list(self.handles.values())
+        done = [h for h in handles if h.done]
+        latencies = sorted(h.latency for h in done)
+        total_needed = sum(h.spec.total_units for h in done)
+        executed = sum(h.units_executed for h in handles)
+        return {
+            "jobs": len(handles),
+            "jobs_done": len(done),
+            "jobs_durable": sum(1 for h in handles if h.durable),
+            "units_executed": executed,
+            "units_needed_done": total_needed,
+            "units_reexecuted": sum(h.reexecuted_units for h in done),
+            "retries": sum(h.retries for h in handles),
+            "resubmits": sum(h.resubmits for h in handles),
+            "latency_mean": (sum(latencies) / len(latencies)) if latencies else None,
+            "latency_p95": latencies[int(0.95 * (len(latencies) - 1))] if latencies else None,
+            "last_completion": max((h.completed_at for h in done), default=None),
+        }
+
+    def fingerprints(self) -> Dict[str, Tuple[bool, int]]:
+        """``job -> (done, digest)`` across every reachable hosting node."""
+        out: Dict[str, Tuple[bool, int]] = {}
+        for handle in self.handles.values():
+            app = self.host_app(handle.spec.host)
+            record = app.jobs.get(handle.spec.job)
+            if record is not None:
+                out[handle.spec.job] = (record["done"], record["digest"])
+        return out

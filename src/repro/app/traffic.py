@@ -1,0 +1,151 @@
+"""Open-loop job traffic: thousands of concurrent clients, one arrival clock.
+
+:class:`JobTraffic` is a :class:`~repro.workloads.base.Workload` whose
+arrivals model independent clients: jobs arrive at a configured Poisson
+``rate`` regardless of how fast the cluster finishes them (open-loop, so
+overload shows up as latency, not as a politely throttled submit stream).
+
+Shard-distribution property: the arrival schedule and the job → host
+placement are pure functions of the workload parameters and one named RNG
+stream.  Every kernel (the parent simulator, each sharded worker) derives
+the *identical* global schedule from its identically-seeded RNG, then
+installs only the jobs whose hosting pid it reaches — the same contract
+:class:`~repro.workloads.random_peer.RandomPeerWorkload` uses, which is
+what lets the one workload run unmodified on ``Simulation``, ``Cluster``
+and ``ShardedCluster``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.app.driver import JobDriver, JobSpec
+from repro.types import ProcessId, SimTime
+from repro.workloads.base import Workload
+
+
+class JobTraffic(Workload):
+    """Submit ``jobs`` staged pipeline jobs at Poisson rate ``rate``.
+
+    ``stages`` — units per pipeline stage (default a 3-stage ETL shape);
+    ``unit_time`` — execution time of one unit;
+    ``retry`` — back-off while a job's host is crashed;
+    ``start`` — arrival clock origin;
+    ``horizon`` — no driver tick is scheduled at/past this time (jobs still
+    running then stay incomplete — the open-loop generator never blocks a
+    run from ending);
+    ``collector`` — when set, each completed job's host sends a completion
+    report (a normal app message) to this pid, exercising the labelled
+    message plane alongside the job plane.
+    """
+
+    name = "job_traffic"
+
+    def __init__(
+        self,
+        jobs: int = 100,
+        rate: float = 20.0,
+        stages: Sequence[int] = (2, 2, 2),
+        unit_time: SimTime = 0.25,
+        retry: SimTime = 1.0,
+        start: SimTime = 1.0,
+        horizon: Optional[SimTime] = None,
+        collector: Optional[ProcessId] = None,
+    ) -> None:
+        self.jobs = jobs
+        self.rate = rate
+        self.stages = tuple(stages)
+        self.unit_time = unit_time
+        self.retry = retry
+        self.start = start
+        self.horizon = horizon
+        self.collector = collector
+        self.driver: Optional[JobDriver] = None
+        self.specs: List[JobSpec] = []
+
+    # ------------------------------------------------------------------
+    def plan(self, sim: Any, all_pids: List[ProcessId]) -> List[JobSpec]:
+        """The full (cluster-wide) deterministic arrival schedule."""
+        stream = sim.rng.stream(self.name, "arrivals")
+        specs: List[JobSpec] = []
+        t = self.start
+        for k in range(self.jobs):
+            t += stream.expovariate(self.rate)
+            specs.append(
+                JobSpec(
+                    job=f"j{k}",
+                    host=all_pids[k % len(all_pids)],
+                    stages=self.stages,
+                    submit_at=t,
+                )
+            )
+        return specs
+
+    def install(
+        self,
+        sim: Any,
+        procs: Dict[ProcessId, Any],
+        peers: Optional[List[ProcessId]] = None,
+    ) -> JobDriver:
+        """Plan the global schedule, submit the locally-hosted slice."""
+        all_pids = sorted(peers) if peers is not None else sorted(procs)
+        self.specs = self.plan(sim, all_pids)
+        driver = JobDriver(
+            sim,
+            procs,
+            unit_time=self.unit_time,
+            retry=self.retry,
+            horizon=self.horizon,
+        )
+        for spec in self.specs:
+            if spec.host in procs:
+                driver.submit(spec)
+        if self.collector is not None:
+            self._arm_collector_reports(sim, procs, driver)
+        self.driver = driver
+        return driver
+
+    def _arm_collector_reports(
+        self, sim: Any, procs: Dict[ProcessId, Any], driver: JobDriver
+    ) -> None:
+        """Send one completion report per finished job to the collector."""
+        collector = self.collector
+
+        def watch(job: str) -> None:
+            handle = driver.handles[job]
+            if handle.done:
+                host = procs[handle.spec.host]
+                if not host.crashed and handle.spec.host != collector:
+                    host.send_app_message(collector, f"done:{job}")
+                return
+            if self.horizon is None or sim.now + self.unit_time < self.horizon:
+                sim.scheduler.at(
+                    sim.now + self.unit_time, lambda: watch(job),
+                    label=f"job {job} report",
+                )
+
+        for spec in self.specs:
+            if spec.host in procs:
+                sim.scheduler.at(
+                    spec.submit_at + self.unit_time,
+                    lambda j=spec.job: watch(j),
+                    label=f"job {spec.job} report",
+                )
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """Ledger roll-up plus open-loop goodput (done jobs per time unit)."""
+        if self.driver is None:
+            raise RuntimeError("JobTraffic.metrics() before install()")
+        rolled = self.driver.metrics()
+        last = rolled["last_completion"]
+        window = (last - self.start) if last is not None else None
+        rolled["goodput"] = (
+            rolled["jobs_done"] / window if window else None
+        )
+        return rolled
+
+    def fingerprints(self) -> Dict[str, Tuple[bool, int]]:
+        if self.driver is None:
+            raise RuntimeError("JobTraffic.fingerprints() before install()")
+        return self.driver.fingerprints()

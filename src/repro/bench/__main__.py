@@ -22,6 +22,7 @@ import sys
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro.bench import ablations as A
+from repro.bench import app as APP
 from repro.bench import experiments as E
 from repro.bench import live as L
 from repro.bench import perf as P
@@ -55,7 +56,16 @@ REGISTRY: Dict[str, Tuple[str, Callable[[], List[Dict[str, Any]]]]] = {
     "live": ("E-LIVE — live kernel vs. simulator", lambda: L.experiment_live()),
     "escale": ("E-SCALE — wire codec + batching throughput", lambda: S.experiment_scale_pass()),
     "escale-shards": ("E-SCALE — sharded runtime scaling", lambda: SH.experiment_shards()),
+    "eapp": ("E-APP — checkpoint-as-a-service job workload", lambda: APP.experiment_app()),
 }
+
+
+def format_registry() -> str:
+    """One line per experiment: key + its table title (the description)."""
+    width = max(len(name) for name in REGISTRY)
+    return "\n".join(
+        f"  {name:<{width}}  {title}" for name, (title, _) in sorted(REGISTRY.items())
+    )
 
 
 def run_experiment(name: str) -> Tuple[str, List[Dict[str, Any]]]:
@@ -81,7 +91,15 @@ def main(argv: list) -> int:
         "--parallel", metavar="N", type=int, default=1,
         help="run experiments across N worker processes (default: 1, serial)",
     )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list available experiments with one-line descriptions and exit",
+    )
     args = parser.parse_args(argv)
+    if args.list:
+        print("available experiments:")
+        print(format_registry())
+        return 0
     if args.parallel < 1:
         print(f"--parallel must be >= 1, got {args.parallel}")
         return 2
@@ -89,7 +107,12 @@ def main(argv: list) -> int:
     names = args.names or list(REGISTRY)
     unknown = [n for n in names if n not in REGISTRY]
     if unknown:
-        print(f"unknown experiments: {unknown}; available: {sorted(REGISTRY)}")
+        print(
+            "unknown experiment(s): "
+            + ", ".join(repr(n) for n in unknown)
+            + "\navailable experiments:"
+        )
+        print(format_registry())
         return 2
     if args.json is not None:
         # Fail on an unwritable path now, not after minutes of experiments.

@@ -329,6 +329,8 @@ class EngineBase:
             self.send_app_message(event.dst, event.payload)
         elif isinstance(event, EV.LocalStep):
             self.local_step()
+        elif isinstance(event, EV.AppOp):
+            self.apply_app_op(event.op)
         elif isinstance(event, EV.InitiateCheckpoint):
             self.last_result = self.initiate_checkpoint()
         elif isinstance(event, EV.InitiateRollback):
@@ -515,6 +517,27 @@ class EngineBase:
         """One unit of local application computation (never suspended)."""
         if not self.crashed:
             self.app.local_step()
+
+    def apply_app_op(self, op: Any) -> None:
+        """Apply one tracked application mutation (see :class:`EV.AppOp`).
+
+        The hosted application interprets ``op`` and returns the trace
+        records describing what changed; emitting them through the engine's
+        trace effect ties every mutation to this process's event timeline,
+        which is what the job-outcome audit reconstructs against checkpoints
+        and rollbacks.  Dropped silently while crashed (the driver retries),
+        rejected loudly when the hosted app has no tracked-mutation support.
+        """
+        if self.crashed:
+            return
+        apply = getattr(self.app, "apply", None)
+        if apply is None:
+            raise ProtocolError(
+                f"application {type(self.app).__name__!r} on P{self.node_id} "
+                "does not support tracked mutations (no apply method)"
+            )
+        for kind, fields in apply(op):
+            self._trace(kind, **fields)
 
     def _transmit_normal(self, dst: ProcessId, payload: Any) -> None:
         msg_id = self._new_msg_id()

@@ -92,6 +92,23 @@ class LocalStep:
 
 
 @slotted_dataclass(frozen=True)
+class AppOp:
+    """A tracked mutation of hosted application state (``repro.app``).
+
+    ``op`` is a plain data tuple the hosted :class:`~repro.core.app.
+    Application` interprets via its ``apply`` method.  Routing mutations
+    through the engine (rather than poking the app object directly) is what
+    makes job state crash-consistent: the mutation lands *between* engine
+    events, so every checkpoint snapshot and rollback restore sees it
+    atomically, and the trace records exactly which mutations each
+    checkpoint covers.
+    """
+
+    op: Any
+    at: SimTime = 0.0
+
+
+@slotted_dataclass(frozen=True)
 class Fail:
     """Fail-stop crash: volatile protocol state vanishes."""
 
@@ -136,6 +153,7 @@ class RecoveryNotice:
 Event = Any  # any of the classes above; kept loose for Python 3.9
 
 __all__ = [
+    "AppOp",
     "AppSend",
     "Deliver",
     "Event",

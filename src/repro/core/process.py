@@ -150,6 +150,10 @@ class CheckpointProcess(Node):
     def local_step(self) -> None:
         self.engine.handle(EV.LocalStep(at=self.now))
 
+    def app_op(self, op: Any) -> None:
+        """Apply a tracked application-state mutation (see ``repro.app``)."""
+        self.engine.handle(EV.AppOp(op=op, at=self.now))
+
     def on_crash(self) -> None:
         self.engine.handle(EV.Fail(at=self.now))
 

@@ -100,23 +100,9 @@ async def run_demo(args: argparse.Namespace) -> Dict[str, Any]:
 
     await cluster.start()
     await cluster.run_for(args.duration)
-    # Quiesce before the cut: stop autonomous initiation, drain the open
-    # 2PC rounds, then let decision propagation settle — so the recovery
-    # line the trace records is a settled one, not a mid-commit snapshot.
-    for proc in cluster.procs.values():
-        proc.engine.autonomous_checkpoints = False
-
-    def open_rounds() -> int:
-        return sum(
-            sum(1 for s in p.engine.trees.all_chkpt_rounds() if not s.closed)
-            + sum(1 for s in p.engine.trees.roll.values() if not s.closed)
-            for p in cluster.procs.values()
-        )
-
-    await cluster.runtime.wait_until(
-        lambda: open_rounds() == 0, timeout=60.0, what="open instances to drain"
-    )
-    await cluster.run_for(2.0)
+    # Quiesce before the cut, so the recovery line the trace records is a
+    # settled one, not a mid-commit snapshot.
+    await cluster.quiesce()
     await cluster.shutdown()
 
     summary = cluster.summary()

@@ -160,6 +160,35 @@ class Cluster:
     ) -> SimTime:
         return await self.runtime.wait_until(predicate, timeout=timeout, what=what)
 
+    def open_instances(self) -> int:
+        """Checkpoint/rollback tree rounds still open across the cluster."""
+        return sum(
+            sum(1 for s in p.engine.trees.all_chkpt_rounds() if not s.closed)
+            + sum(1 for s in p.engine.trees.roll.values() if not s.closed)
+            for p in self.procs.values()
+        )
+
+    async def quiesce(
+        self, drain_timeout: SimTime = 60.0, settle: SimTime = 2.0
+    ) -> None:
+        """Stop autonomous initiation, drain open 2PC rounds, settle.
+
+        After this returns no tree is mid-2PC anywhere, so a subsequent
+        :meth:`shutdown` never cuts the run between a root's commit and a
+        cohort's — the merged trace's recovery line is a settled one, not a
+        mid-commit snapshot (mirrors :meth:`ShardedCluster.quiesce`).
+        ``settle`` lets the final decision propagation land before the cut.
+        """
+        for proc in self.procs.values():
+            proc.engine.autonomous_checkpoints = False
+        await self.runtime.wait_until(
+            lambda: self.open_instances() == 0,
+            timeout=drain_timeout,
+            what="open instances to drain",
+        )
+        if settle:
+            await self.run_for(settle)
+
     async def shutdown(self, raise_errors: bool = True) -> None:
         """Stop the kernel, flush every storage, close the trace streams."""
         await self.runtime.shutdown(raise_errors=raise_errors)

@@ -533,6 +533,7 @@ class WorkerSpec:
     flush_every: int = 8
     trace_flush_every: int = 64
     workload: Optional[Dict[str, Any]] = None
+    app: Optional[Dict[str, Any]] = None
     bench: bool = False
     ring_replicas: int = 64
 
@@ -569,6 +570,7 @@ class ShardWorker:
         )
         self.storages: Dict[ProcessId, WriteBehindFileStableStorage] = {}
         self.procs: Dict[ProcessId, Node] = {}
+        self.app_traffic: Optional[Any] = None
         if spec.bench:
             for pid in self.local_pids:
                 self.procs[pid] = self.runtime.add_node(
@@ -579,13 +581,19 @@ class ShardWorker:
 
     def _build_protocol_nodes(self) -> None:
         spec = self.spec
+        process_cls: Any = CheckpointProcess
+        if spec.app is not None:
+            # Job-hosting nodes: same protocol process, AppHost application.
+            from repro.app.state import AppProcess
+
+            process_cls = AppProcess
         for pid in self.local_pids:
             storage = WriteBehindFileStableStorage(
                 os.path.join(spec.root, f"node-{pid}"), flush_every=spec.flush_every
             )
             self.storages[pid] = storage
             self.procs[pid] = self.runtime.add_node(
-                CheckpointProcess(pid, spec.config, storage=storage)
+                process_cls(pid, spec.config, storage=storage)
             )
         if spec.detector_latency is not None:
             ShardFailureDetector(self.runtime, detection_latency=spec.detector_latency)
@@ -604,6 +612,13 @@ class ShardWorker:
             RandomPeerWorkload(**spec.workload).install(
                 self.runtime, self.procs, peers=self.all_pids
             )
+        if spec.app is not None:
+            # Every worker plans the identical global arrival schedule from
+            # its identically-seeded RNG and submits only its local slice.
+            from repro.app.traffic import JobTraffic
+
+            self.app_traffic = JobTraffic(**spec.app)
+            self.app_traffic.install(self.runtime, self.procs, peers=self.all_pids)
 
     # ------------------------------------------------------------------
     # Cross-shard failure notices
@@ -671,12 +686,28 @@ class ShardWorker:
         return count
 
     def poll(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "now": self.runtime.now,
             "committed": self.committed_counts(),
             "alive": {pid: self.runtime.is_alive(pid) for pid in self.local_pids},
             "open_instances": self.open_instances(),
             "timer_errors": len(self.runtime.scheduler.errors),
+        }
+        if self.app_traffic is not None:
+            rolled = self.app_traffic.driver.metrics()
+            payload["jobs"] = rolled["jobs"]
+            payload["jobs_done"] = rolled["jobs_done"]
+            payload["jobs_durable"] = rolled["jobs_durable"]
+        return payload
+
+    def app_status(self) -> Dict[str, Any]:
+        """This shard's job ledger roll-up + state fingerprints (picklable)."""
+        if self.app_traffic is None:
+            raise SimulationError(f"shard {self.spec.shard} hosts no app traffic")
+        return {
+            "shard": self.spec.shard,
+            "metrics": self.app_traffic.metrics(),
+            "fingerprints": self.app_traffic.fingerprints(),
         }
 
     def bench_status(self) -> Dict[str, Any]:
@@ -775,6 +806,8 @@ async def _worker_async(spec: WorkerSpec, conn: "Connection") -> None:
                         worker.procs[pid].burst(payload)
             elif command == "bench_status":
                 result = worker.bench_status()
+            elif command == "app_status":
+                result = worker.app_status()
             elif command == "summary":
                 result = worker.summary()
             elif command == "shutdown":
@@ -878,6 +911,7 @@ class ShardedCluster:
         flush_every: int = 8,
         trace_flush_every: int = 64,
         workload: Optional[Dict[str, Any]] = None,
+        app: Optional[Dict[str, Any]] = None,
         bench: bool = False,
         host: str = "127.0.0.1",
         ring_replicas: int = 64,
@@ -917,6 +951,7 @@ class ShardedCluster:
                     flush_every=flush_every,
                     trace_flush_every=trace_flush_every,
                     workload=workload,
+                    app=app,
                     bench=bench,
                     ring_replicas=ring_replicas,
                 )
@@ -956,9 +991,19 @@ class ShardedCluster:
         return [worker.wait(timeout=timeout) for worker in self._workers]
 
     def owner(self, pid: ProcessId) -> _WorkerHandle:
-        """The worker whose kernel hosts ``pid``."""
+        """The worker whose kernel hosts ``pid``.
+
+        Every pid-routed front-door method (``kill``/``restart``/
+        ``schedule_*``/``app_status``) funnels through here, so an unknown
+        pid fails with one clear ``KeyError`` naming the ring's population
+        instead of surfacing as a confusing ``HashRing`` placement deep in
+        a worker.
+        """
         if not 0 <= pid < self.n:
-            raise SimulationError(f"unknown pid P{pid}")
+            raise KeyError(
+                f"unknown pid P{pid}: the ring hosts pids 0..{self.n - 1} "
+                f"across {self.shards} shard(s)"
+            )
         return self._workers[self.ring.shard_of(pid)]
 
     # ------------------------------------------------------------------
@@ -997,6 +1042,45 @@ class ShardedCluster:
                     f"timed out after {timeout} time units awaiting {what}"
                 )
             time.sleep(poll_every)
+
+    def wait_until_jobs_durable(self, timeout: SimTime = 120.0) -> None:
+        """Block until every submitted app job completed *durably* (its
+        completion is covered by a committed checkpoint on its host)."""
+        def done(polls: List[Dict[str, Any]]) -> bool:
+            return all(
+                poll.get("jobs_durable", 0) >= poll.get("jobs", 0) for poll in polls
+            )
+
+        self.wait_until(done, timeout=timeout, what="app jobs to complete durably")
+
+    def app_status(self) -> Dict[str, Any]:
+        """Cluster-wide job ledger: merged counters + per-shard details.
+
+        Fingerprints (``job -> (done, digest)``) merge disjointly — each
+        job's ledger lives on the one shard hosting it.
+        """
+        per_shard = self._broadcast("app_status")
+        merged: Dict[str, Any] = {
+            key: sum(s["metrics"][key] for s in per_shard)
+            for key in (
+                "jobs", "jobs_done", "jobs_durable", "units_executed",
+                "units_needed_done", "units_reexecuted", "retries", "resubmits",
+            )
+        }
+        fingerprints: Dict[str, Any] = {}
+        for shard_status in per_shard:
+            fingerprints.update(shard_status["fingerprints"])
+        weighted = [
+            (s["metrics"]["latency_mean"], s["metrics"]["jobs_done"])
+            for s in per_shard if s["metrics"]["latency_mean"] is not None
+        ]
+        merged["latency_mean"] = (
+            sum(mean * n for mean, n in weighted) / sum(n for _, n in weighted)
+            if weighted else None
+        )
+        merged["fingerprints"] = fingerprints
+        merged["per_shard"] = [s["metrics"] for s in per_shard]
+        return merged
 
     def wait_until_committed(self, count: int = 2, timeout: SimTime = 120.0) -> None:
         """Block until every live process has >= ``count`` committed checkpoints."""

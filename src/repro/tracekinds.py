@@ -40,6 +40,12 @@ K_INSTANCE_COMMIT = "instance_commit"      # pid, tree
 K_INSTANCE_ABORT = "instance_abort"        # pid, tree
 K_INSTANCE_REJECTED = "instance_rejected"  # pid, tree (baseline algorithms)
 
+# -- application jobs (repro.app) --------------------------------------------
+K_JOB_SUBMIT = "job_submit"        # pid, job, stages
+K_JOB_UNIT = "job_unit"            # pid, job, stage, unit
+K_JOB_STAGE = "job_stage"          # pid, job, stage (stage completed)
+K_JOB_DONE = "job_done"            # pid, job
+
 # -- failures and topology ---------------------------------------------------
 K_CRASH = "crash"                  # pid
 K_RECOVER = "recover"              # pid

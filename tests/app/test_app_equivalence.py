@@ -1,0 +1,131 @@
+"""One workload, three kernels: the job ledger must not care.
+
+:class:`~repro.app.traffic.JobTraffic` runs unmodified on the discrete-event
+simulator, the live asyncio :class:`~repro.runtime.cluster.Cluster`, and the
+multi-process :class:`~repro.runtime.shard.ShardedCluster`.  Unit content is
+a pure function of ``(job, stage, unit)``, so all three must finish every
+job with bit-identical ``(done, digest)`` records — the sim-vs-live
+job-ledger equivalence the subsystem promises.
+"""
+
+import asyncio
+
+from repro.analysis import audit_jobs, check_c1_from_trace
+from repro.app.state import AppProcess, completed_record
+from repro.app.traffic import JobTraffic
+from repro.core import ProtocolConfig
+from repro.testing import build_sim
+
+JOBS = 12
+STAGES = (2, 2, 2)
+TRAFFIC = dict(
+    jobs=JOBS, rate=3.0, stages=STAGES, unit_time=0.25, retry=1.0, horizon=40.0
+)
+
+
+def config():
+    return ProtocolConfig(checkpoint_interval=5.0, failure_resilience=True)
+
+
+def expected_ledger():
+    return {
+        f"j{k}": (True, completed_record(f"j{k}", STAGES)["digest"])
+        for k in range(JOBS)
+    }
+
+
+def ledger_sim():
+    sim, procs = build_sim(
+        n=4, seed=2, cls=AppProcess, config=config(),
+        detector_latency=1.0, spoolers=True,
+    )
+    traffic = JobTraffic(**TRAFFIC)
+    traffic.install(sim, procs)
+    sim.run(until=50.0)
+    assert traffic.metrics()["jobs_durable"] == JOBS
+    return traffic.fingerprints()
+
+
+def ledger_live(tmp_path):
+    from repro.runtime.cluster import Cluster
+
+    async def drive():
+        cluster = Cluster(
+            n=4, root=str(tmp_path / "live"), seed=2, transport="loopback",
+            config=config(), process_cls=AppProcess, time_scale=0.005,
+        )
+        traffic = JobTraffic(**TRAFFIC)
+        driver = traffic.install(cluster.runtime, cluster.procs)
+        await cluster.start()
+        await cluster.wait_until(
+            lambda: all(h.durable for h in driver.handles.values()),
+            timeout=300.0, what="live jobs to complete durably",
+        )
+        await cluster.quiesce()
+        await cluster.shutdown()
+        return traffic.fingerprints()
+
+    return asyncio.run(drive())
+
+
+def ledger_sharded(tmp_path):
+    from repro.runtime.shard import ShardedCluster
+
+    cluster = ShardedCluster(
+        n=4, root=str(tmp_path / "sharded"), shards=2, seed=2,
+        config=config(), time_scale=0.01, app=dict(TRAFFIC),
+    )
+    try:
+        cluster.start()
+        cluster.wait_until_jobs_durable(timeout=600.0)
+        status = cluster.app_status()
+        cluster.shutdown()
+    finally:
+        cluster.close()
+    assert status["jobs_durable"] == JOBS
+    # Each shard hosted and completed its own slice of the one schedule.
+    assert all(s["jobs"] > 0 for s in status["per_shard"])
+    return status["fingerprints"]
+
+
+def test_job_ledger_is_identical_across_all_three_kernels(tmp_path):
+    control = expected_ledger()
+    assert ledger_sim() == control
+    assert ledger_live(tmp_path) == control
+    assert ledger_sharded(tmp_path) == control
+
+
+def test_sharded_app_survives_kill_and_restart(tmp_path):
+    from repro.runtime.shard import ShardedCluster
+
+    cluster = ShardedCluster(
+        n=4, root=str(tmp_path / "sharded-kill"), shards=2, seed=2,
+        config=config(), time_scale=0.01,
+        app=dict(TRAFFIC, jobs=16, rate=4.0, horizon=80.0),
+    )
+    victim = 1
+    try:
+        cluster.start()
+        cluster.run_for(6.0)
+        cluster.kill(victim)
+        cluster.run_for(5.0)
+        cluster.restart(victim)
+        cluster.wait_until_jobs_durable(timeout=600.0)
+        status = cluster.app_status()
+        cluster.shutdown()
+    finally:
+        cluster.close()
+
+    assert status["jobs_done"] == 16
+    assert status["jobs_durable"] == 16
+    expected = {
+        f"j{k}": (True, completed_record(f"j{k}", STAGES)["digest"])
+        for k in range(16)
+    }
+    assert status["fingerprints"] == expected
+
+    index = cluster.merged_index()
+    audit = audit_jobs(index)
+    assert audit["committed_stage_reexecutions"] == 0
+    assert audit["jobs_done"] == 16
+    check_c1_from_trace(index, pids=list(range(cluster.n)))

@@ -1,0 +1,113 @@
+"""The hosted job table: tracked mutations, trace records, snapshots.
+
+Unit-level checks of :class:`repro.app.state.AppHost` — the server side of
+checkpoint-as-a-service — and of the engine's ``AppOp`` path that makes its
+mutations crash-consistent.
+"""
+
+import pytest
+
+from repro.app.state import AppHost, AppProcess, completed_record, fold_unit
+from repro.core import ProtocolConfig
+from repro.errors import ProtocolError
+from repro.testing import build_sim
+from repro.tracekinds import K_JOB_DONE, K_JOB_STAGE, K_JOB_SUBMIT, K_JOB_UNIT
+
+
+def drain(host, op):
+    """Apply one op, returning just the trace kinds it produced."""
+    return [kind for kind, _ in host.apply(op)]
+
+
+def test_submit_registers_and_is_idempotent():
+    host = AppHost(0)
+    assert drain(host, ("submit", "j0", (2, 1))) == [K_JOB_SUBMIT]
+    record = host.jobs["j0"]
+    assert (record["stage"], record["cursor"], record["done"]) == (0, 0, False)
+    # Resubmission (a client retrying after a deep rollback) changes nothing.
+    assert drain(host, ("submit", "j0", (2, 1))) == []
+    assert host.jobs["j0"] == record
+
+
+def test_units_advance_stages_and_finish_the_job():
+    host = AppHost(0)
+    host.apply(("submit", "j0", (2, 1)))
+    assert drain(host, ("unit", "j0")) == [K_JOB_UNIT]
+    assert drain(host, ("unit", "j0")) == [K_JOB_UNIT, K_JOB_STAGE]
+    assert host.progress("j0") == (1, 0)
+    assert drain(host, ("unit", "j0")) == [K_JOB_UNIT, K_JOB_STAGE, K_JOB_DONE]
+    assert host.jobs["j0"] == completed_record("j0", (2, 1))
+    # Ticking a finished job is a no-op (the driver may race a completion).
+    assert drain(host, ("unit", "j0")) == []
+
+
+def test_unit_for_unknown_job_is_a_noop():
+    host = AppHost(0)
+    assert drain(host, ("unit", "ghost")) == []
+    assert host.jobs == {}
+
+
+def test_digest_is_deterministic_across_hosts():
+    # Two hosts that executed the same units hold bit-equal records —
+    # whatever kernel drove them.  This is the equivalence tests' anchor.
+    a, b = AppHost(0), AppHost(7)
+    for host in (a, b):
+        host.apply(("submit", "j0", (2, 2)))
+        for _ in range(4):
+            host.apply(("unit", "j0"))
+    assert a.fingerprints() == b.fingerprints()
+    digest = 0
+    for stage, units in enumerate((2, 2)):
+        for unit in range(units):
+            digest = fold_unit(digest, "j0", stage, unit)
+    assert a.jobs["j0"]["digest"] == digest
+
+
+def test_snapshot_restore_roundtrips_the_job_table():
+    host = AppHost(0)
+    host.apply(("submit", "j0", (2, 2)))
+    host.apply(("unit", "j0"))
+    frozen = host.snapshot()
+    host.apply(("unit", "j0"))
+    host.apply(("unit", "j0"))
+    host.restore(frozen)
+    assert host.progress("j0") == (0, 1)
+    # The restored table is a copy, not an alias of the snapshot.
+    host.apply(("unit", "j0"))
+    assert frozen["jobs"]["j0"]["cursor"] == 1
+
+
+def test_app_op_is_traced_through_the_engine():
+    sim, procs = build_sim(
+        n=2, cls=AppProcess,
+        config=ProtocolConfig(checkpoint_interval=None),
+    )
+    procs[0].app_op(("submit", "j0", (1, 1)))
+    procs[0].app_op(("unit", "j0"))
+    procs[0].app_op(("unit", "j0"))
+    sim.run(until=1.0)
+    index = sim.trace.index
+    assert index.count(K_JOB_SUBMIT) == 1
+    assert index.count(K_JOB_UNIT) == 2
+    assert index.count(K_JOB_STAGE) == 2
+    assert index.count(K_JOB_DONE) == 1
+    assert all(e.pid == 0 for e in index.by_kind(K_JOB_UNIT))
+
+
+def test_app_op_requires_an_application_with_apply():
+    # The default CounterApp has no tracked-mutation support; the engine
+    # must say so, not fail deep inside the app.
+    sim, procs = build_sim(n=2)
+    with pytest.raises(ProtocolError, match="does not support tracked mutations"):
+        procs[0].app_op(("submit", "j0", (1,)))
+
+
+def test_crashed_host_ignores_app_ops():
+    sim, procs = build_sim(
+        n=2, cls=AppProcess,
+        config=ProtocolConfig(checkpoint_interval=None, failure_resilience=True),
+    )
+    procs[0].app_op(("submit", "j0", (2,)))
+    sim.crash(0)
+    procs[0].app_op(("unit", "j0"))  # dropped, like any event on a dead node
+    assert procs[0].app.units_applied("j0") == 0

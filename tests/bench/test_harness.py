@@ -60,6 +60,29 @@ def test_cli_registry_names_resolve():
     assert main(["definitely-not-an-experiment"]) == 2
 
 
+def test_cli_unknown_name_lists_experiments(capsys):
+    from repro.bench.__main__ import REGISTRY, main
+
+    assert main(["definitely-not-an-experiment"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown experiment(s): 'definitely-not-an-experiment'" in out
+    assert "available experiments:" in out
+    # Every registered experiment is listed, with its one-line description.
+    for name, (title, _) in REGISTRY.items():
+        assert name in out
+        assert title in out
+
+
+def test_cli_list_flag_prints_registry_and_succeeds(capsys):
+    from repro.bench.__main__ import REGISTRY, main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "available experiments:" in out
+    for name in REGISTRY:
+        assert name in out
+
+
 def test_cli_runs_a_cheap_experiment(capsys):
     from repro.bench.__main__ import main
 

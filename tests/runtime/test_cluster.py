@@ -112,6 +112,46 @@ def test_cluster_traces_are_sharded_per_node(tmp_path):
     assert len(events) == cluster.runtime.trace.events_recorded
 
 
+def test_quiesce_drains_open_rounds_under_sustained_traffic(tmp_path):
+    # quiesce() is called while the workload is still actively sending
+    # (duration far beyond the quiesce point): autonomous initiation stops,
+    # open 2PC rounds drain to zero even as normal traffic keeps flowing,
+    # and the merged trace's recovery line is C1-clean.
+    cluster = Cluster(
+        n=3,
+        root=str(tmp_path / "cluster"),
+        seed=5,
+        transport="loopback",
+        config=ProtocolConfig(checkpoint_interval=4.0, failure_resilience=True),
+        time_scale=0.01,
+        detector_latency=2.0,
+    )
+    RandomPeerWorkload(message_rate=2.0, step_rate=0.5, duration=1000.0).install(
+        cluster.runtime, cluster.procs
+    )
+
+    async def scenario():
+        await cluster.start()
+        await cluster.wait_until(
+            lambda: everyone_committed_twice(cluster),
+            timeout=120.0, what="committed checkpoints",
+        )
+        sent_before = cluster.runtime.network.normal_sent
+        await cluster.quiesce()
+        assert cluster.open_instances() == 0
+        # The workload was still live across the quiesce window.
+        assert cluster.runtime.network.normal_sent > sent_before
+        # Initiation stayed off: nothing reopened after the drain.
+        await cluster.run_for(3.0)
+        assert cluster.open_instances() == 0
+        await cluster.shutdown()
+        return sent_before
+
+    run(scenario())
+    check_c1_from_trace(cluster.merged_index(), pids=list(cluster.procs))
+    assert cluster.summary()["timer_errors"] == 0
+
+
 def test_cluster_requires_two_nodes(tmp_path):
     from repro.errors import SimulationError
 

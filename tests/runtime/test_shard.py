@@ -164,8 +164,14 @@ def test_worker_errors_surface_in_the_parent(tmp_path):
         # naming the shard, not hang or silently drop it.
         with pytest.raises(SimulationError, match="worker failed"):
             cluster.restart(0)
-        with pytest.raises(SimulationError, match="unknown pid"):
+        # Unknown pids fail at the front door with a KeyError naming the
+        # pid and the ring's population — never deep inside HashRing.
+        with pytest.raises(KeyError, match=r"unknown pid P99.*pids 0\.\.3"):
             cluster.kill(99)
+        with pytest.raises(KeyError, match="unknown pid P-1"):
+            cluster.schedule_kill(-1, at=1.0)
+        with pytest.raises(KeyError, match="unknown pid P4"):
+            cluster.schedule_restart(4, at=1.0)
         cluster.shutdown()
     finally:
         cluster.close()
