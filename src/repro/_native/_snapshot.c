@@ -1,0 +1,661 @@
+/* Native snapshot hot path: freeze / thaw / content_hash / diff.
+ *
+ * A hand-written CPython extension mirroring repro/stable/snapshot.py
+ * exactly: the same pass-through rules for already-frozen nodes, the same
+ * FrozenDict/FrozenList construction (the Python classes are passed in at
+ * configure time and instantiated here, so both builds produce the same
+ * types), the same content-hash formulas with the same `_content_hash`
+ * instance-dict cache (the two implementations read and write each other's
+ * cache), and the same tagged-tuple delta vocabulary.  patch() stays in
+ * Python — it calls freeze()/diff() through module globals, so it picks up
+ * these implementations automatically once snapshot.py rebinds them.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#define NATIVE_ABI_VERSION 1
+#define MAX_DEPTH 1000
+
+typedef struct {
+    int ready;
+    PyObject *frozen_dict;   /* snapshot.FrozenDict */
+    PyObject *frozen_list;   /* snapshot.FrozenList */
+    PyObject *storage_error; /* repro.errors.StableStorageError */
+    PyObject *s_cache;       /* "_content_hash" */
+    PyObject *s_list_salt;   /* "frozen-list" */
+    PyObject *eq_delta;      /* the shared ("=",) tuple */
+    PyObject *s_bang, *s_d, *s_l; /* "!", "d", "l" */
+    PyObject *empty_tuple;
+} Config;
+
+static Config cfg;
+
+static int
+depth_error(const char *what)
+{
+    PyErr_Format(PyExc_RecursionError,
+                 "maximum nesting exceeded while %s snapshot value", what);
+    return -1;
+}
+
+/* ------------------------------------------------------------------ */
+/* freeze                                                              */
+/* ------------------------------------------------------------------ */
+
+static PyObject *freeze_value(PyObject *value, int depth);
+
+/* An empty FrozenDict/FrozenList shell: tp_new without the (pure, empty)
+ * dataclass-free __init__.  FrozenDict/FrozenList define no __new__/__init__
+ * of their own, so dict.__new__/list.__new__ fully initialise the storage;
+ * the C API then fills it directly, bypassing the Python-level blocked
+ * mutators (exactly how the interpreted constructor fills it). */
+static PyObject *
+frozen_shell(PyObject *cls)
+{
+    PyTypeObject *tp = (PyTypeObject *)cls;
+    return tp->tp_new(tp, cfg.empty_tuple, NULL);
+}
+
+static PyObject *
+freeze_dict_items(PyObject *value, int depth)
+{
+    /* FrozenDict((k, freeze(v)) for k, v in value.items()) */
+    PyObject *result = frozen_shell(cfg.frozen_dict);
+    if (result == NULL)
+        return NULL;
+    PyObject *key, *item;
+    Py_ssize_t pos = 0;
+    while (PyDict_Next(value, &pos, &key, &item)) {
+        PyObject *frozen = freeze_value(item, depth);
+        if (frozen == NULL || PyDict_SetItem(result, key, frozen) < 0) {
+            Py_XDECREF(frozen);
+            Py_DECREF(result);
+            return NULL;
+        }
+        Py_DECREF(frozen);
+    }
+    return result;
+}
+
+static PyObject *
+freeze_sequence(PyObject *value, int depth, int as_tuple)
+{
+    Py_ssize_t n = PySequence_Size(value);
+    if (n < 0)
+        return NULL;
+    PyObject *items = as_tuple ? PyTuple_New(n) : PyList_New(n);
+    if (items == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *item = PySequence_GetItem(value, i);
+        PyObject *frozen = item ? freeze_value(item, depth) : NULL;
+        Py_XDECREF(item);
+        if (frozen == NULL) {
+            Py_DECREF(items);
+            return NULL;
+        }
+        if (as_tuple)
+            PyTuple_SET_ITEM(items, i, frozen);
+        else
+            PyList_SET_ITEM(items, i, frozen);
+    }
+    if (as_tuple)
+        return items;
+    PyObject *result = frozen_shell(cfg.frozen_list);
+    if (result == NULL ||
+        PyList_SetSlice(result, 0, 0, items) < 0) {
+        Py_XDECREF(result);
+        Py_DECREF(items);
+        return NULL;
+    }
+    Py_DECREF(items);
+    return result;
+}
+
+static PyObject *
+freeze_value(PyObject *value, int depth)
+{
+    if (depth > MAX_DEPTH) {
+        depth_error("freezing");
+        return NULL;
+    }
+    depth++;
+    PyTypeObject *tp = Py_TYPE(value);
+    /* Exact-type fast paths, in the interpreted freeze()'s order. */
+    if (tp == (PyTypeObject *)cfg.frozen_dict ||
+        tp == (PyTypeObject *)cfg.frozen_list || tp == &PyUnicode_Type ||
+        tp == &PyLong_Type || tp == &PyFloat_Type || tp == &PyBool_Type ||
+        value == Py_None) {
+        Py_INCREF(value);
+        return value;
+    }
+    if (tp == &PyDict_Type)
+        return freeze_dict_items(value, depth);
+    if (tp == &PyList_Type || tp == &PyTuple_Type)
+        return freeze_sequence(value, depth, tp == &PyTuple_Type);
+    /* Subclasses of the shapes above (rare) take the isinstance path. */
+    int hit = PyObject_IsInstance(value, cfg.frozen_dict);
+    if (hit == 0)
+        hit = PyObject_IsInstance(value, cfg.frozen_list);
+    if (hit < 0)
+        return NULL;
+    if (hit) {
+        Py_INCREF(value);
+        return value;
+    }
+    if (PyDict_Check(value))
+        return freeze_dict_items(value, depth);
+    if (PyTuple_Check(value))
+        return freeze_sequence(value, depth, 1);
+    if (PyList_Check(value))
+        return freeze_sequence(value, depth, 0);
+    if (PyUnicode_Check(value) || PyLong_Check(value) || PyFloat_Check(value) ||
+        PyBool_Check(value)) {
+        Py_INCREF(value);
+        return value;
+    }
+    PyErr_Format(cfg.storage_error,
+                 "cannot freeze '%s': stable values must be "
+                 "JSON-shaped (dict/list/tuple/str/int/float/bool/None)",
+                 tp->tp_name);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* thaw                                                                */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+thaw_value(PyObject *value, int depth)
+{
+    if (depth > MAX_DEPTH) {
+        depth_error("thawing");
+        return NULL;
+    }
+    depth++;
+    if (PyDict_Check(value)) {
+        PyObject *plain = PyDict_New();
+        if (plain == NULL)
+            return NULL;
+        PyObject *key, *item;
+        Py_ssize_t pos = 0;
+        while (PyDict_Next(value, &pos, &key, &item)) {
+            PyObject *thawed = thaw_value(item, depth);
+            if (thawed == NULL || PyDict_SetItem(plain, key, thawed) < 0) {
+                Py_XDECREF(thawed);
+                Py_DECREF(plain);
+                return NULL;
+            }
+            Py_DECREF(thawed);
+        }
+        return plain;
+    }
+    if (PyTuple_Check(value) || PyList_Check(value)) {
+        int as_tuple = PyTuple_Check(value);
+        Py_ssize_t n = PySequence_Size(value);
+        if (n < 0)
+            return NULL;
+        PyObject *items = as_tuple ? PyTuple_New(n) : PyList_New(n);
+        if (items == NULL)
+            return NULL;
+        for (Py_ssize_t i = 0; i < n; i++) {
+            PyObject *item = PySequence_GetItem(value, i);
+            PyObject *thawed = item ? thaw_value(item, depth) : NULL;
+            Py_XDECREF(item);
+            if (thawed == NULL) {
+                Py_DECREF(items);
+                return NULL;
+            }
+            if (as_tuple)
+                PyTuple_SET_ITEM(items, i, thawed);
+            else
+                PyList_SET_ITEM(items, i, thawed);
+        }
+        return items;
+    }
+    Py_INCREF(value);
+    return value;
+}
+
+/* ------------------------------------------------------------------ */
+/* content_hash                                                        */
+/* ------------------------------------------------------------------ */
+
+static int content_hash_value(PyObject *value, Py_hash_t *out, int depth);
+
+/* The `_content_hash` instance-dict cache shared with the interpreted
+ * __hash__ methods.  Returns 1 on cache hit, 0 on miss, -1 on error. */
+static int
+cache_get(PyObject *value, Py_hash_t *out)
+{
+    PyObject **dictptr = _PyObject_GetDictPtr(value);
+    if (dictptr == NULL || *dictptr == NULL)
+        return 0;
+    PyObject *cached = PyDict_GetItemWithError(*dictptr, cfg.s_cache);
+    if (cached == NULL)
+        return PyErr_Occurred() ? -1 : 0;
+    Py_hash_t result = PyLong_AsSsize_t(cached);
+    if (result == -1 && PyErr_Occurred())
+        return -1;
+    *out = result;
+    return 1;
+}
+
+static int
+cache_put(PyObject *value, Py_hash_t computed)
+{
+    PyObject **dictptr = _PyObject_GetDictPtr(value);
+    if (dictptr == NULL)
+        return 0; /* no instance dict: just skip the cache */
+    if (*dictptr == NULL) {
+        *dictptr = PyDict_New();
+        if (*dictptr == NULL)
+            return -1;
+    }
+    PyObject *boxed = PyLong_FromSsize_t(computed);
+    if (boxed == NULL)
+        return -1;
+    int status = PyDict_SetItem(*dictptr, cfg.s_cache, boxed);
+    Py_DECREF(boxed);
+    return status;
+}
+
+static int
+frozen_dict_hash(PyObject *value, Py_hash_t *out, int depth)
+{
+    /* hash(frozenset((hash(k), content_hash(v)) for k, v in items)) */
+    PyObject *fs = PyFrozenSet_New(NULL);
+    if (fs == NULL)
+        return -1;
+    PyObject *key, *item;
+    Py_ssize_t pos = 0;
+    while (PyDict_Next(value, &pos, &key, &item)) {
+        Py_hash_t key_hash = PyObject_Hash(key);
+        if (key_hash == -1 && PyErr_Occurred())
+            goto fail;
+        Py_hash_t item_hash;
+        if (content_hash_value(item, &item_hash, depth) < 0)
+            goto fail;
+        PyObject *pair = Py_BuildValue("(nn)", key_hash, item_hash);
+        if (pair == NULL || PySet_Add(fs, pair) < 0) {
+            Py_XDECREF(pair);
+            goto fail;
+        }
+        Py_DECREF(pair);
+    }
+    *out = PyObject_Hash(fs);
+    Py_DECREF(fs);
+    return (*out == -1 && PyErr_Occurred()) ? -1 : 0;
+fail:
+    Py_DECREF(fs);
+    return -1;
+}
+
+static int
+frozen_list_hash(PyObject *value, Py_hash_t *out, int depth)
+{
+    /* hash(("frozen-list",) + tuple(content_hash(v) for v in self)) */
+    Py_ssize_t n = PyList_GET_SIZE(value);
+    PyObject *tup = PyTuple_New(n + 1);
+    if (tup == NULL)
+        return -1;
+    Py_INCREF(cfg.s_list_salt);
+    PyTuple_SET_ITEM(tup, 0, cfg.s_list_salt);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        Py_hash_t item_hash;
+        if (content_hash_value(PyList_GET_ITEM(value, i), &item_hash, depth) < 0) {
+            Py_DECREF(tup);
+            return -1;
+        }
+        PyObject *boxed = PyLong_FromSsize_t(item_hash);
+        if (boxed == NULL) {
+            Py_DECREF(tup);
+            return -1;
+        }
+        PyTuple_SET_ITEM(tup, i + 1, boxed);
+    }
+    *out = PyObject_Hash(tup);
+    Py_DECREF(tup);
+    return (*out == -1 && PyErr_Occurred()) ? -1 : 0;
+}
+
+static int
+content_hash_value(PyObject *value, Py_hash_t *out, int depth)
+{
+    if (depth > MAX_DEPTH)
+        return depth_error("hashing");
+    depth++;
+    int is_fd = PyObject_IsInstance(value, cfg.frozen_dict);
+    if (is_fd < 0)
+        return -1;
+    int is_fl = 0;
+    if (!is_fd) {
+        is_fl = PyObject_IsInstance(value, cfg.frozen_list);
+        if (is_fl < 0)
+            return -1;
+    }
+    if (is_fd || is_fl) {
+        int hit = cache_get(value, out);
+        if (hit != 0)
+            return hit < 0 ? -1 : 0;
+        int status = is_fd ? frozen_dict_hash(value, out, depth)
+                           : frozen_list_hash(value, out, depth);
+        if (status < 0)
+            return -1;
+        return cache_put(value, *out);
+    }
+    if (PyTuple_Check(value)) {
+        /* hash(tuple(content_hash(v) for v in value)) — not cached. */
+        Py_ssize_t n = PyTuple_GET_SIZE(value);
+        PyObject *tup = PyTuple_New(n);
+        if (tup == NULL)
+            return -1;
+        for (Py_ssize_t i = 0; i < n; i++) {
+            Py_hash_t item_hash;
+            if (content_hash_value(PyTuple_GET_ITEM(value, i), &item_hash, depth) < 0) {
+                Py_DECREF(tup);
+                return -1;
+            }
+            PyObject *boxed = PyLong_FromSsize_t(item_hash);
+            if (boxed == NULL) {
+                Py_DECREF(tup);
+                return -1;
+            }
+            PyTuple_SET_ITEM(tup, i, boxed);
+        }
+        *out = PyObject_Hash(tup);
+        Py_DECREF(tup);
+        return (*out == -1 && PyErr_Occurred()) ? -1 : 0;
+    }
+    *out = PyObject_Hash(value);
+    if (*out == -1 && PyErr_Occurred()) {
+        if (PyErr_ExceptionMatches(PyExc_TypeError)) {
+            PyErr_Clear();
+            PyErr_Format(cfg.storage_error,
+                         "cannot content-hash mutable '%s'; freeze() it first",
+                         Py_TYPE(value)->tp_name);
+        }
+        return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* diff                                                                */
+/* ------------------------------------------------------------------ */
+
+static PyObject *diff_value(PyObject *base, PyObject *target, int depth);
+
+static PyObject *
+replacement_delta(PyObject *target)
+{
+    return PyTuple_Pack(2, cfg.s_bang, target);
+}
+
+/* The interpreted `a == b`: full operator protocol, no identity fast-path. */
+static int
+operator_eq(PyObject *a, PyObject *b)
+{
+    PyObject *cmp = PyObject_RichCompare(a, b, Py_EQ);
+    if (cmp == NULL)
+        return -1;
+    int truth = PyObject_IsTrue(cmp);
+    Py_DECREF(cmp);
+    return truth;
+}
+
+static PyObject *
+diff_dicts(PyObject *base, PyObject *target, int depth)
+{
+    PyObject *edits = PyDict_New();
+    PyObject *deleted = PyList_New(0);
+    if (edits == NULL || deleted == NULL)
+        goto fail;
+    PyObject *key, *value;
+    Py_ssize_t pos = 0;
+    while (PyDict_Next(target, &pos, &key, &value)) {
+        PyObject *previous = PyDict_GetItemWithError(base, key);
+        if (previous == NULL) {
+            if (PyErr_Occurred())
+                goto fail;
+            PyObject *sub = replacement_delta(value);
+            if (sub == NULL || PyDict_SetItem(edits, key, sub) < 0) {
+                Py_XDECREF(sub);
+                goto fail;
+            }
+            Py_DECREF(sub);
+            continue;
+        }
+        /* Mirror the interpreted `base[key] != value` exactly: the operator
+         * protocol has no identity fast-path (unlike RichCompareBool), so a
+         * shared NaN still registers as changed, as it does in Python. */
+        PyObject *cmp = PyObject_RichCompare(previous, value, Py_NE);
+        if (cmp == NULL)
+            goto fail;
+        int changed = PyObject_IsTrue(cmp);
+        Py_DECREF(cmp);
+        if (changed < 0)
+            goto fail;
+        if (changed) { /* base[key] != value */
+            PyObject *sub = diff_value(previous, value, depth);
+            if (sub == NULL || PyDict_SetItem(edits, key, sub) < 0) {
+                Py_XDECREF(sub);
+                goto fail;
+            }
+            Py_DECREF(sub);
+        }
+    }
+    pos = 0;
+    while (PyDict_Next(base, &pos, &key, &value)) {
+        int gone = PyDict_Contains(target, key);
+        if (gone < 0)
+            goto fail;
+        if (!gone && PyList_Append(deleted, key) < 0)
+            goto fail;
+    }
+    if (PyList_Sort(deleted) < 0)
+        goto fail;
+    PyObject *result = PyTuple_Pack(3, cfg.s_d, edits, deleted);
+    Py_DECREF(edits);
+    Py_DECREF(deleted);
+    return result;
+fail:
+    Py_XDECREF(edits);
+    Py_XDECREF(deleted);
+    return NULL;
+}
+
+static PyObject *
+diff_sequences(PyObject *base, PyObject *target)
+{
+    Py_ssize_t base_len = PySequence_Size(base);
+    Py_ssize_t target_len = PySequence_Size(target);
+    if (base_len < 0 || target_len < 0)
+        return NULL;
+    Py_ssize_t limit = base_len < target_len ? base_len : target_len;
+    Py_ssize_t prefix = 0;
+    while (prefix < limit) {
+        PyObject *a = PySequence_GetItem(base, prefix);
+        PyObject *b = a ? PySequence_GetItem(target, prefix) : NULL;
+        int same = (b != NULL) ? operator_eq(a, b) : -1;
+        Py_XDECREF(a);
+        Py_XDECREF(b);
+        if (same < 0)
+            return NULL;
+        if (!same)
+            break;
+        prefix++;
+    }
+    Py_ssize_t suffix = 0;
+    while (suffix < limit - prefix) {
+        PyObject *a = PySequence_GetItem(base, base_len - 1 - suffix);
+        PyObject *b = a ? PySequence_GetItem(target, target_len - 1 - suffix) : NULL;
+        int same = (b != NULL) ? operator_eq(a, b) : -1;
+        Py_XDECREF(a);
+        Py_XDECREF(b);
+        if (same < 0)
+            return NULL;
+        if (!same)
+            break;
+        suffix++;
+    }
+    Py_ssize_t middle_len = target_len - suffix - prefix;
+    PyObject *middle = PyList_New(middle_len);
+    if (middle == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < middle_len; i++) {
+        PyObject *item = PySequence_GetItem(target, prefix + i);
+        if (item == NULL) {
+            Py_DECREF(middle);
+            return NULL;
+        }
+        PyList_SET_ITEM(middle, i, item);
+    }
+    PyObject *result = Py_BuildValue("(OnnO)", cfg.s_l, prefix, suffix, middle);
+    Py_DECREF(middle);
+    return result;
+}
+
+static PyObject *
+diff_value(PyObject *base, PyObject *target, int depth)
+{
+    if (depth > MAX_DEPTH) {
+        depth_error("diffing");
+        return NULL;
+    }
+    depth++;
+    int equal = (base == target) ? 1 : operator_eq(base, target);
+    if (equal < 0)
+        return NULL;
+    if (equal) {
+        Py_INCREF(cfg.eq_delta);
+        return cfg.eq_delta;
+    }
+    if (PyDict_Check(base) && PyDict_Check(target))
+        return diff_dicts(base, target, depth);
+    int base_seq = PyList_Check(base) || PyTuple_Check(base);
+    int target_seq = PyList_Check(target) || PyTuple_Check(target);
+    if (base_seq && target_seq)
+        return diff_sequences(base, target);
+    return replacement_delta(target);
+}
+
+/* ------------------------------------------------------------------ */
+/* Python-visible API                                                  */
+/* ------------------------------------------------------------------ */
+
+static int
+require_ready(void)
+{
+    if (!cfg.ready) {
+        PyErr_SetString(PyExc_RuntimeError, "native snapshot not configured");
+        return -1;
+    }
+    return 0;
+}
+
+static PyObject *
+py_freeze(PyObject *self, PyObject *value)
+{
+    if (require_ready() < 0)
+        return NULL;
+    return freeze_value(value, 0);
+}
+
+static PyObject *
+py_thaw(PyObject *self, PyObject *value)
+{
+    if (require_ready() < 0)
+        return NULL;
+    return thaw_value(value, 0);
+}
+
+static PyObject *
+py_content_hash(PyObject *self, PyObject *value)
+{
+    if (require_ready() < 0)
+        return NULL;
+    Py_hash_t result;
+    if (content_hash_value(value, &result, 0) < 0)
+        return NULL;
+    return PyLong_FromSsize_t(result);
+}
+
+static PyObject *
+py_diff(PyObject *self, PyObject *args)
+{
+    PyObject *base, *target;
+    if (require_ready() < 0 || !PyArg_ParseTuple(args, "OO", &base, &target))
+        return NULL;
+    return diff_value(base, target, 0);
+}
+
+static PyObject *
+py_configure(PyObject *self, PyObject *args, PyObject *kwargs)
+{
+    static char *keywords[] = {"frozen_dict", "frozen_list", "storage_error", NULL};
+    PyObject *frozen_dict, *frozen_list, *storage_error;
+    if (!PyArg_ParseTupleAndKeywords(args, kwargs, "OOO", keywords, &frozen_dict,
+                                     &frozen_list, &storage_error))
+        return NULL;
+    Py_CLEAR(cfg.frozen_dict);
+    Py_CLEAR(cfg.frozen_list);
+    Py_CLEAR(cfg.storage_error);
+    cfg.frozen_dict = frozen_dict;
+    cfg.frozen_list = frozen_list;
+    cfg.storage_error = storage_error;
+    Py_INCREF(frozen_dict);
+    Py_INCREF(frozen_list);
+    Py_INCREF(storage_error);
+    cfg.ready = 1;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef methods[] = {
+    {"configure", (PyCFunction)py_configure, METH_VARARGS | METH_KEYWORDS,
+     "Install the FrozenDict/FrozenList classes (called by snapshot.py)."},
+    {"freeze", py_freeze, METH_O, "Immutable view of a JSON-shaped value."},
+    {"thaw", py_thaw, METH_O, "Deep mutable copy of a (frozen) value."},
+    {"content_hash", py_content_hash, METH_O,
+     "Equality-consistent structural hash, cached on frozen nodes."},
+    {"diff", py_diff, METH_VARARGS,
+     "Structural delta turning base into target (same tags as snapshot.diff)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef moduledef = {
+    PyModuleDef_HEAD_INIT,
+    "repro._native._snapshot",
+    "Compiled snapshot freeze/diff path (see repro/stable/snapshot.py).",
+    -1,
+    methods,
+};
+
+PyMODINIT_FUNC
+PyInit__snapshot(void)
+{
+    PyObject *module = PyModule_Create(&moduledef);
+    if (module == NULL)
+        return NULL;
+    memset(&cfg, 0, sizeof(cfg));
+    cfg.s_cache = PyUnicode_InternFromString("_content_hash");
+    cfg.s_list_salt = PyUnicode_InternFromString("frozen-list");
+    cfg.s_bang = PyUnicode_InternFromString("!");
+    cfg.s_d = PyUnicode_InternFromString("d");
+    cfg.s_l = PyUnicode_InternFromString("l");
+    PyObject *eq = PyUnicode_InternFromString("=");
+    cfg.eq_delta = eq ? PyTuple_Pack(1, eq) : NULL;
+    Py_XDECREF(eq);
+    cfg.empty_tuple = PyTuple_New(0);
+    if (cfg.eq_delta == NULL || cfg.s_cache == NULL || cfg.s_l == NULL ||
+        cfg.empty_tuple == NULL) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    if (PyModule_AddIntConstant(module, "NATIVE_ABI", NATIVE_ABI_VERSION) < 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

@@ -25,6 +25,7 @@ from repro.bench import ablations as A
 from repro.bench import app as APP
 from repro.bench import experiments as E
 from repro.bench import live as L
+from repro.bench import native as N
 from repro.bench import perf as P
 from repro.bench import scale as S
 from repro.bench import shards as SH
@@ -55,6 +56,7 @@ REGISTRY: Dict[str, Tuple[str, Callable[[], List[Dict[str, Any]]]]] = {
     "perf": ("E-PERF — snapshot engine + parallel sweeps", lambda: P.experiment_perf()),
     "live": ("E-LIVE — live kernel vs. simulator", lambda: L.experiment_live()),
     "escale": ("E-SCALE — wire codec + batching throughput", lambda: S.experiment_scale_pass()),
+    "enative": ("E-NATIVE — compiled vs interpreted hot paths", lambda: N.experiment_native()),
     "escale-shards": ("E-SCALE — sharded runtime scaling", lambda: SH.experiment_shards()),
     "eapp": ("E-APP — checkpoint-as-a-service job workload", lambda: APP.experiment_app()),
 }
@@ -92,6 +94,11 @@ def main(argv: list) -> int:
         help="run experiments across N worker processes (default: 1, serial)",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and write a .pstats file next to the JSON "
+             "artifact (or ./bench.pstats); forces serial execution",
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list available experiments with one-line descriptions and exit",
     )
@@ -123,11 +130,34 @@ def main(argv: list) -> int:
             print(f"cannot write --json file {args.json}: {error}")
             return 2
 
+    profiler = None
+    workers = args.parallel
+    if args.profile:
+        import cProfile
+
+        if workers != 1:
+            print("--profile forces serial execution (profiling one process)")
+            workers = 1
+        profiler = cProfile.Profile()
+        profiler.enable()
+
     artifacts: Dict[str, Dict[str, Any]] = {}
-    results = run_registry_parallel(names, workers=args.parallel)
-    for name, (title, rows) in zip(names, results):
-        print_experiment(name, format_table(rows, title=title))
-        artifacts[name] = {"title": title, "rows": rows_to_json(rows)}
+    try:
+        results = run_registry_parallel(names, workers=workers)
+        for name, (title, rows) in zip(names, results):
+            print_experiment(name, format_table(rows, title=title))
+            artifacts[name] = {"title": title, "rows": rows_to_json(rows)}
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            stats_path = (
+                f"{args.json}.pstats" if args.json is not None else "bench.pstats"
+            )
+            profiler.dump_stats(stats_path)
+            print(
+                f"wrote cProfile stats to {stats_path} "
+                "(inspect with: python -m pstats ... or snakeviz)"
+            )
     if args.json is not None:
         write_json(args.json, artifacts)
         print(f"wrote JSON artifacts for {len(artifacts)} experiment(s) to {args.json}")

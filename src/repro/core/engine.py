@@ -321,36 +321,63 @@ class EngineBase:
         self._down = getattr(event, "down", None)
         self._status_down = getattr(event, "status_down", None)
         self.last_result = None
-        if isinstance(event, EV.Deliver):
-            self.on_envelope(event.envelope)
-        elif isinstance(event, EV.TimerFired):
-            self._on_timer_fired(event.name)
-        elif isinstance(event, EV.AppSend):
-            self.send_app_message(event.dst, event.payload)
-        elif isinstance(event, EV.LocalStep):
-            self.local_step()
-        elif isinstance(event, EV.AppOp):
-            self.apply_app_op(event.op)
-        elif isinstance(event, EV.InitiateCheckpoint):
-            self.last_result = self.initiate_checkpoint()
-        elif isinstance(event, EV.InitiateRollback):
-            self.last_result = self.initiate_rollback()
-        elif isinstance(event, EV.Start):
-            self.peers = tuple(event.peers)
-            self.on_start()
-        elif isinstance(event, EV.Fail):
-            self.crashed = True
-            self._timer_actions.clear()
-            self.on_crash()
-        elif isinstance(event, EV.Recover):
-            self.crashed = False
-            self.on_recover(event)
-        elif isinstance(event, EV.FailureNotice):
-            self.on_failure_notice(event.pid)
-        elif isinstance(event, EV.RecoveryNotice):
-            self.on_recovery_notice(event.pid)
-        else:
-            raise ProtocolError(f"unknown engine event {event!r}")
+        # Exact-class table lookup replaces the historical isinstance chain:
+        # one dict probe instead of up-to-twelve type checks per event.  A
+        # subclass (not used by the repo itself, but allowed) falls back to
+        # the isinstance walk once and is then cached in the table.
+        name = _EVENT_DISPATCH.get(event.__class__)
+        if name is None:
+            name = self._dispatch_event_slow(event)
+        getattr(self, name)(event)
+
+    def _dispatch_event_slow(self, event: EV.Event) -> str:
+        """Subclass fallback: resolve via isinstance (chain order) and cache."""
+        for cls, name in _EVENT_DISPATCH.items():
+            if isinstance(event, cls):
+                _EVENT_DISPATCH[event.__class__] = name
+                return name
+        raise ProtocolError(f"unknown engine event {event!r}")
+
+    # Per-event adapters bound through _EVENT_DISPATCH (uniform signature).
+    def _ev_deliver(self, event: EV.Deliver) -> None:
+        self.on_envelope(event.envelope)
+
+    def _ev_timer_fired(self, event: EV.TimerFired) -> None:
+        self._on_timer_fired(event.name)
+
+    def _ev_app_send(self, event: EV.AppSend) -> None:
+        self.send_app_message(event.dst, event.payload)
+
+    def _ev_local_step(self, event: EV.LocalStep) -> None:
+        self.local_step()
+
+    def _ev_app_op(self, event: EV.AppOp) -> None:
+        self.apply_app_op(event.op)
+
+    def _ev_initiate_checkpoint(self, event: EV.InitiateCheckpoint) -> None:
+        self.last_result = self.initiate_checkpoint()
+
+    def _ev_initiate_rollback(self, event: EV.InitiateRollback) -> None:
+        self.last_result = self.initiate_rollback()
+
+    def _ev_start(self, event: EV.Start) -> None:
+        self.peers = tuple(event.peers)
+        self.on_start()
+
+    def _ev_fail(self, event: EV.Fail) -> None:
+        self.crashed = True
+        self._timer_actions.clear()
+        self.on_crash()
+
+    def _ev_recover(self, event: EV.Recover) -> None:
+        self.crashed = False
+        self.on_recover(event)
+
+    def _ev_failure_notice(self, event: EV.FailureNotice) -> None:
+        self.on_failure_notice(event.pid)
+
+    def _ev_recovery_notice(self, event: EV.RecoveryNotice) -> None:
+        self.on_recovery_notice(event.pid)
 
     def _emit(self, effect: FX.Effect) -> None:
         if self._effects is not None:
@@ -594,28 +621,20 @@ class EngineBase:
         self._trace(
             K_CTRL_RECEIVE, src=src, msg_type=body.kind, tree=getattr(body, "tree", None)
         )
-        if isinstance(body, M.ChkptReq):
-            self._on_chkpt_req(src, body)
-        elif isinstance(body, M.ChkptAck):
-            self._on_chkpt_ack(src, body)
-        elif isinstance(body, M.ReadyToCommit):
-            self._on_ready_to_commit(src, body)
-        elif isinstance(body, M.Commit):
-            self._on_commit(src, body)
-        elif isinstance(body, M.Abort):
-            self._on_abort(src, body)
-        elif isinstance(body, M.RollReq):
-            self._on_roll_req(src, body)
-        elif isinstance(body, M.RollAck):
-            self._on_roll_ack(src, body)
-        elif isinstance(body, M.RollComplete):
-            self._on_roll_complete(src, body)
-        elif isinstance(body, M.Restart):
-            self._on_restart(src, body)
-        elif isinstance(body, M.DecisionInquiry):
-            self._on_decision_inquiry(src, body)
-        elif isinstance(body, M.DecisionReply):
-            self._on_decision_reply(src, body)
+        name = _CONTROL_DISPATCH.get(body.__class__)
+        if name is None:
+            name = self._dispatch_control_slow(body)
+            if name is None:
+                return  # unknown control bodies are ignored, as before
+        getattr(self, name)(src, body)
+
+    def _dispatch_control_slow(self, body: Any) -> Optional[str]:
+        """Subclass fallback: resolve via isinstance (chain order) and cache."""
+        for cls, name in _CONTROL_DISPATCH.items():
+            if isinstance(body, cls):
+                _CONTROL_DISPATCH[body.__class__] = name
+                return name
+        return None
 
     def _send_control(self, dst: ProcessId, body: Any) -> None:
         fields = {"dst": dst, "msg_type": body.kind, "tree": getattr(body, "tree", None)}
@@ -688,6 +707,41 @@ class EngineBase:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "crashed" if self.crashed else "up"
         return f"<{type(self).__name__} P{self.node_id} {state} n={self.ledger.n}>"
+
+
+#: Exact-class → handler-name tables for the two dispatch hot paths.  Names
+#: (not bound methods) so the protocol handlers, which live on the mixins
+#: rather than :class:`EngineBase`, resolve through the instance at call
+#: time.  Insertion order mirrors the historical isinstance chains — the
+#: subclass fallback walks it in that order before caching.
+_EVENT_DISPATCH: Dict[type, str] = {
+    EV.Deliver: "_ev_deliver",
+    EV.TimerFired: "_ev_timer_fired",
+    EV.AppSend: "_ev_app_send",
+    EV.LocalStep: "_ev_local_step",
+    EV.AppOp: "_ev_app_op",
+    EV.InitiateCheckpoint: "_ev_initiate_checkpoint",
+    EV.InitiateRollback: "_ev_initiate_rollback",
+    EV.Start: "_ev_start",
+    EV.Fail: "_ev_fail",
+    EV.Recover: "_ev_recover",
+    EV.FailureNotice: "_ev_failure_notice",
+    EV.RecoveryNotice: "_ev_recovery_notice",
+}
+
+_CONTROL_DISPATCH: Dict[type, str] = {
+    M.ChkptReq: "_on_chkpt_req",
+    M.ChkptAck: "_on_chkpt_ack",
+    M.ReadyToCommit: "_on_ready_to_commit",
+    M.Commit: "_on_commit",
+    M.Abort: "_on_abort",
+    M.RollReq: "_on_roll_req",
+    M.RollAck: "_on_roll_ack",
+    M.RollComplete: "_on_roll_complete",
+    M.Restart: "_on_restart",
+    M.DecisionInquiry: "_on_decision_inquiry",
+    M.DecisionReply: "_on_decision_reply",
+}
 
 
 #: Rule-1 proactive notices are scheduled (not called inline) so the current

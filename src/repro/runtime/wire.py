@@ -38,13 +38,18 @@ import asyncio
 import dataclasses
 import json
 import struct
-from typing import Any, Dict, List, Optional, Tuple, Type
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
+from repro import _native
 from repro.core.messages import CONTROL_KINDS, NormalBody
 from repro.errors import WireError
 from repro.net.message import CONTROL, NORMAL, Envelope
 from repro.sim.trace import decode_field, encode_field
 from repro.types import MessageId, TreeId
+
+#: Anything the decoders accept: the zero-copy receive path hands them
+#: ``memoryview`` slices of the socket buffer instead of ``bytes`` copies.
+Buffer = Union[bytes, bytearray, memoryview]
 
 _HEADER = struct.Struct(">I")
 HEADER_SIZE = _HEADER.size
@@ -149,6 +154,19 @@ _V2_MSGID = struct.Struct(">iq")  # sender, send_index
 _V2_LABEL = struct.Struct(">q")
 _V2_DOUBLE = struct.Struct(">d")
 
+# Bound pack/unpack methods hoisted to module level: the inner loops pay one
+# global load instead of an attribute lookup per call, and every Struct is
+# compiled exactly once at import.
+_PACK_FIXED = _V2_FIXED.pack
+_UNPACK_FIXED = _V2_FIXED.unpack_from
+_PACK_MSGID = _V2_MSGID.pack
+_UNPACK_MSGID = _V2_MSGID.unpack_from
+_PACK_LABEL = _V2_LABEL.pack
+_UNPACK_LABEL = _V2_LABEL.unpack_from
+_PACK_HEADER = _HEADER.pack
+_PACK_HEADER_INTO = _HEADER.pack_into
+_UNPACK_HEADER_FROM = _HEADER.unpack_from
+
 _F_MSGID = 0x01
 _F_LABEL = 0x02
 _F_CONTROL = 0x04
@@ -187,7 +205,7 @@ def _pack_zigzag(out: bytearray, value: int) -> None:
     _pack_uvarint(out, value * 2 if value >= 0 else -value * 2 - 1)
 
 
-def _read_uvarint(blob: bytes, pos: int) -> Tuple[int, int]:
+def _read_uvarint(blob: Buffer, pos: int) -> Tuple[int, int]:
     result = 0
     shift = 0
     while True:
@@ -202,7 +220,7 @@ def _read_uvarint(blob: bytes, pos: int) -> Tuple[int, int]:
         shift += 7
 
 
-def _read_zigzag(blob: bytes, pos: int) -> Tuple[int, int]:
+def _read_zigzag(blob: Buffer, pos: int) -> Tuple[int, int]:
     raw, pos = _read_uvarint(blob, pos)
     return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1), pos
 
@@ -213,7 +231,11 @@ def _pack_str(out: bytearray, value: str) -> None:
     out += encoded
 
 
-def _pack_value(out: bytearray, value: Any) -> None:
+def _pack_value(
+    out: bytearray,
+    value: Any,
+    _pack_double: Callable[[float], bytes] = _V2_DOUBLE.pack,
+) -> None:
     if value is None:
         out.append(_T_NONE)
     elif value is True:
@@ -225,7 +247,7 @@ def _pack_value(out: bytearray, value: Any) -> None:
         _pack_zigzag(out, value)
     elif isinstance(value, float):
         out.append(_T_FLOAT)
-        out += _V2_DOUBLE.pack(value)
+        out += _pack_double(value)
     elif isinstance(value, str):
         out.append(_T_STR)
         _pack_str(out, value)
@@ -271,15 +293,21 @@ def _pack_value(out: bytearray, value: Any) -> None:
         _pack_str(out, repr(value))
 
 
-def _read_str(blob: bytes, pos: int) -> Tuple[str, int]:
+def _read_str(blob: Buffer, pos: int) -> Tuple[str, int]:
     length, pos = _read_uvarint(blob, pos)
     end = pos + length
     if end > len(blob):
         raise WireError("truncated string in binary frame")
-    return blob[pos:end].decode(), end
+    # str(buffer, "utf-8") decodes bytes and memoryview slices alike, with
+    # the same UnicodeDecodeError behaviour as bytes.decode().
+    return str(blob[pos:end], "utf-8"), end
 
 
-def _read_value(blob: bytes, pos: int) -> Tuple[Any, int]:
+def _read_value(
+    blob: Buffer,
+    pos: int,
+    _unpack_double: Callable[..., Tuple[float]] = _V2_DOUBLE.unpack_from,
+) -> Tuple[Any, int]:
     try:
         tag = blob[pos]
     except IndexError:
@@ -294,10 +322,10 @@ def _read_value(blob: bytes, pos: int) -> Tuple[Any, int]:
     if tag == _T_INT:
         return _read_zigzag(blob, pos)
     if tag == _T_FLOAT:
-        end = pos + _V2_DOUBLE.size
+        end = pos + 8
         if end > len(blob):
             raise WireError("truncated float in binary frame")
-        return _V2_DOUBLE.unpack_from(blob, pos)[0], end
+        return _unpack_double(blob, pos)[0], end
     if tag in (_T_STR, _T_REPR):
         return _read_str(blob, pos)
     if tag == _T_MID:
@@ -330,8 +358,8 @@ def _read_value(blob: bytes, pos: int) -> Tuple[Any, int]:
     raise WireError(f"unknown binary value tag {tag}")
 
 
-def encode_envelope_binary(envelope: Envelope) -> bytes:
-    """The v2 payload for an envelope (no length prefix)."""
+def _encode_envelope_into(out: bytearray, envelope: Envelope) -> None:
+    """Append the v2 payload of ``envelope`` (no length prefix) to ``out``."""
     body = envelope.body
     if body is None:
         kind_code = 0
@@ -343,35 +371,42 @@ def encode_envelope_binary(envelope: Envelope) -> bytes:
             raise WireError(f"unregistered body type {type(body).__name__!r}")
         kind_code = _KIND_CODE[kind]
         field_names = _BODY_FIELDS[kind]
-    if envelope.category == CONTROL:
+    category = envelope.category
+    if category == CONTROL:
         flags = _F_CONTROL
-    elif envelope.category == NORMAL:
+    elif category == NORMAL:
         flags = 0
     else:
-        raise WireError(f"cannot binary-encode category {envelope.category!r}")
-    if envelope.msg_id is not None:
+        raise WireError(f"cannot binary-encode category {category!r}")
+    msg_id = envelope.msg_id
+    label = envelope.label
+    if msg_id is not None:
         flags |= _F_MSGID
-    if envelope.label is not None:
+    if label is not None:
         flags |= _F_LABEL
-    out = bytearray(
-        _V2_FIXED.pack(
-            BINARY_TAG, kind_code, flags, envelope.src, envelope.dst, envelope.send_time
-        )
+    out += _PACK_FIXED(
+        BINARY_TAG, kind_code, flags, envelope.src, envelope.dst, envelope.send_time
     )
-    if envelope.msg_id is not None:
-        out += _V2_MSGID.pack(envelope.msg_id.sender, envelope.msg_id.send_index)
-    if envelope.label is not None:
-        out += _V2_LABEL.pack(envelope.label)
+    if msg_id is not None:
+        out += _PACK_MSGID(msg_id.sender, msg_id.send_index)
+    if label is not None:
+        out += _PACK_LABEL(label)
     for name in field_names:
         _pack_value(out, getattr(body, name))
+
+
+def _py_encode_envelope_binary(envelope: Envelope) -> bytes:
+    """The v2 payload for an envelope (no length prefix)."""
+    out = bytearray()
+    _encode_envelope_into(out, envelope)
     return bytes(out)
 
 
-def decode_envelope_binary(blob: bytes) -> Envelope:
+def _py_decode_envelope_binary(blob: Buffer) -> Envelope:
     """Inverse of :func:`encode_envelope_binary`."""
     if len(blob) < _V2_FIXED.size:
         raise WireError("truncated binary envelope header")
-    tag, kind_code, flags, src, dst, send_time = _V2_FIXED.unpack_from(blob, 0)
+    tag, kind_code, flags, src, dst, send_time = _UNPACK_FIXED(blob, 0)
     if tag != BINARY_TAG:
         raise WireError(f"bad binary frame tag 0x{tag:02X}")
     pos = _V2_FIXED.size
@@ -380,7 +415,7 @@ def decode_envelope_binary(blob: bytes) -> Envelope:
         end = pos + _V2_MSGID.size
         if end > len(blob):
             raise WireError("truncated binary message id")
-        sender, send_index = _V2_MSGID.unpack_from(blob, pos)
+        sender, send_index = _UNPACK_MSGID(blob, pos)
         msg_id = MessageId(sender, send_index)
         pos = end
     label = None
@@ -388,7 +423,7 @@ def decode_envelope_binary(blob: bytes) -> Envelope:
         end = pos + _V2_LABEL.size
         if end > len(blob):
             raise WireError("truncated binary label")
-        (label,) = _V2_LABEL.unpack_from(blob, pos)
+        (label,) = _UNPACK_LABEL(blob, pos)
         pos = end
     if kind_code == 0:
         body = None
@@ -413,6 +448,14 @@ def decode_envelope_binary(blob: bytes) -> Envelope:
         label=label,
         send_time=send_time,
     )
+
+
+# Public codec entry points.  These aliases are rebound to the compiled
+# implementations at the bottom of the module when the native codec is built
+# and passes its probe; the ``_py_`` names always stay interpreted so the
+# probe and E-NATIVE can compare backends inside one process.
+encode_envelope_binary = _py_encode_envelope_binary
+decode_envelope_binary = _py_decode_envelope_binary
 
 
 # ----------------------------------------------------------------------
@@ -459,44 +502,149 @@ def negotiate(preferred: int, advertised: int) -> int:
 # Framing
 # ----------------------------------------------------------------------
 
-def dumps_frame(envelope: Envelope, version: int = WIRE_V2) -> bytes:
+def _py_dumps_frame(envelope: Envelope, version: int = WIRE_V2) -> bytes:
     """Encode an envelope into one length-prefixed wire frame."""
     if version == WIRE_V2:
-        blob = encode_envelope_binary(envelope)
+        blob = _py_encode_envelope_binary(envelope)
     elif version == WIRE_V1:
         blob = json.dumps(encode_envelope(envelope), separators=(",", ":")).encode()
     else:
         raise WireError(f"unsupported wire version {version}")
     if len(blob) > MAX_FRAME:
         raise WireError(f"frame of {len(blob)} bytes exceeds MAX_FRAME={MAX_FRAME}")
-    return _HEADER.pack(len(blob)) + blob
+    return _PACK_HEADER(len(blob)) + blob
 
 
-def loads_frame(blob: bytes) -> Envelope:
+def _py_loads_frame(blob: Buffer) -> Envelope:
     """Decode a frame *payload* (header already stripped) to an envelope.
 
     Sniffs the format from the first byte — binary frames open with
     :data:`BINARY_TAG`, JSON ones with ``{`` — so a receiver needs no
-    per-connection state to decode a mixed stream.
+    per-connection state to decode a mixed stream.  Accepts any bytes-like
+    object; the zero-copy receive path passes ``memoryview`` slices.
     """
-    if not blob:
+    if not len(blob):
         raise WireError("empty wire frame")
     if blob[0] == BINARY_TAG:
-        return decode_envelope_binary(blob)
+        return _py_decode_envelope_binary(blob)
     try:
-        payload = json.loads(blob.decode())
+        payload = json.loads(str(blob, "utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireError(f"undecodable wire frame: {exc}") from exc
     return decode_envelope(payload)
 
 
-def roundtrip(envelope: Envelope, version: int = WIRE_V2) -> Envelope:
+def _py_roundtrip(envelope: Envelope, version: int = WIRE_V2) -> Envelope:
     """Serialize + deserialize an envelope through a full wire codec.
 
     The loopback transport runs every message through this by default, so
     even socket-free tests prove the traffic is wire-serializable.
     """
-    return loads_frame(dumps_frame(envelope, version=version)[HEADER_SIZE:])
+    return _py_loads_frame(_py_dumps_frame(envelope, version=version)[HEADER_SIZE:])
+
+
+# Reused batch-assembly buffer: one allocation per process instead of one
+# bytearray + one bytes per frame per batch.  Safe because encoding is
+# synchronous and each process encodes on one thread; the returned value is
+# an immutable copy, so the buffer can be cleared on the next call.
+_BATCH_BUF = bytearray()
+
+
+def _py_encode_batch(envelopes: Sequence[Envelope], version: int = WIRE_V2) -> bytes:
+    """One contiguous buffer of length-prefixed frames for a whole batch.
+
+    Byte-identical to ``b"".join(dumps_frame(e, version=version) ...)`` —
+    the TCP transport's coalescing write path — without the per-frame bytes
+    objects and the final join copy.
+    """
+    if version != WIRE_V2:
+        return b"".join(_py_dumps_frame(env, version=version) for env in envelopes)
+    out = _BATCH_BUF
+    out.clear()
+    for envelope in envelopes:
+        header_at = len(out)
+        out += b"\x00\x00\x00\x00"  # length backpatched below
+        _encode_envelope_into(out, envelope)
+        payload = len(out) - header_at - HEADER_SIZE
+        if payload > MAX_FRAME:
+            out.clear()
+            raise WireError(f"frame of {payload} bytes exceeds MAX_FRAME={MAX_FRAME}")
+        _PACK_HEADER_INTO(out, header_at, payload)
+    return bytes(out)
+
+
+dumps_frame = _py_dumps_frame
+loads_frame = _py_loads_frame
+roundtrip = _py_roundtrip
+encode_batch = _py_encode_batch
+
+
+class FrameDecoder:
+    """Sans-IO incremental splitter for a stream of length-prefixed frames.
+
+    The zero-copy receive path: feed raw socket reads in with :meth:`feed`,
+    then drain every complete frame with :meth:`frames` — each payload is
+    yielded as a ``memoryview`` slice of the internal buffer, so a coalesced
+    TCP batch is decoded without one intermediate ``bytes`` copy per frame.
+
+    Contract: decode each yielded view before advancing the iterator, and
+    never call :meth:`feed` while a ``frames()`` iteration is live — views
+    are released as the iterator advances (or closes), and the buffer is
+    compacted on the next feed.  :meth:`eof` maps a connection closed
+    mid-header/mid-frame onto the same :class:`~repro.errors.WireError`\\ s
+    as :func:`read_frame`, so callers keep one error contract.
+    """
+
+    __slots__ = ("_buf", "_pos")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._pos = 0
+
+    def feed(self, data: Buffer) -> None:
+        """Append freshly received bytes (no yielded views may be live)."""
+        buf = self._buf
+        if self._pos:
+            del buf[: self._pos]  # compact consumed frames away
+            self._pos = 0
+        buf += data
+
+    def frames(self) -> Iterator[memoryview]:
+        """Yield each complete frame payload as a zero-copy view."""
+        buf = self._buf
+        while True:
+            pos = self._pos
+            if len(buf) - pos < HEADER_SIZE:
+                return
+            (length,) = _UNPACK_HEADER_FROM(buf, pos)
+            if length > MAX_FRAME:
+                raise WireError(
+                    f"incoming frame of {length} bytes exceeds MAX_FRAME={MAX_FRAME}"
+                )
+            start = pos + HEADER_SIZE
+            if len(buf) - start < length:
+                return
+            self._pos = start + length
+            view = memoryview(buf)[start : start + length]
+            try:
+                yield view
+            finally:
+                # Drop the buffer export even if the consumer abandons the
+                # iterator mid-frame, so the next feed() can resize.
+                view.release()
+
+    def pending(self) -> int:
+        """Unconsumed bytes currently buffered (partial frames included)."""
+        return len(self._buf) - self._pos
+
+    def eof(self) -> None:
+        """Validate a close: raises unless the stream ended between frames."""
+        remaining = len(self._buf) - self._pos
+        if remaining == 0:
+            return
+        if remaining < HEADER_SIZE:
+            raise WireError("connection closed mid-header")
+        raise WireError("connection closed mid-frame")
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
@@ -519,3 +667,192 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
         return await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise WireError("connection closed mid-frame") from exc
+
+
+# ----------------------------------------------------------------------
+# Native codec selection (see repro._native and DESIGN.md §14)
+# ----------------------------------------------------------------------
+
+_NATIVE: Optional[Any] = None
+
+
+def native_active() -> bool:
+    """True when the compiled codec passed its probe and serves this module."""
+    return _NATIVE is not None
+
+
+def _fast_construct_safe() -> bool:
+    """Whether the native decoder may build Envelope/MessageId/TreeId without
+    running their ``__init__``.
+
+    Safe exactly when those generated inits are plain field assignments: the
+    field lists match what the C code writes, there is no ``__post_init__``,
+    and the id types carry an instance ``__dict__`` for the C fast fill.
+    The byte/object-level probe below re-verifies behaviourally either way.
+    """
+    envelope_fields = tuple(f.name for f in dataclasses.fields(Envelope))
+    if envelope_fields != (
+        "src", "dst", "category", "body", "msg_id", "label", "send_time", "deliver_time"
+    ):
+        return False
+    for cls, names in (
+        (MessageId, ("sender", "send_index")),
+        (TreeId, ("initiator", "initiation_seq")),
+    ):
+        if tuple(f.name for f in dataclasses.fields(cls)) != names:
+            return False
+        if not hasattr(cls(0, 0), "__dict__"):
+            return False
+    return not any(
+        hasattr(cls, "__post_init__") for cls in (Envelope, MessageId, TreeId)
+    )
+
+
+def _probe_corpus() -> List[Envelope]:
+    """Envelopes exercising every value tag, both categories, all flag
+    combinations and the big-int varint slow path."""
+    rich_payload = {
+        "ints": [0, 1, -1, 63, 64, -65, 2**40, -(2**40), 2**70, -(2**70) - 1],
+        "floats": (0.0, -0.0, 2.5, -1e300, float("inf")),
+        "text": ["", "ascii", "snowman ☃", "\U0001f600"],
+        ("tuple", "key"): None,
+        3: {"nested": {"deep": (1, (2, (3,)))}},
+        "flags": [True, False, None],
+        "ids": (MessageId(3, 2**40), TreeId(-2, 9)),
+        "sets": [{5, -17, 2**66}, frozenset({"b", "a", "ab"})],
+    }
+    bodies = [
+        None,
+        NormalBody(),
+        NormalBody(
+            payload=rich_payload,
+            markers=(TreeId(1, 2), TreeId(0, 0)),
+            marker_seq=7,
+            incarnation=1,
+        ),
+    ]
+    corpus = []
+    for i, body in enumerate(bodies):
+        corpus.append(
+            Envelope(
+                src=i,
+                dst=-i,
+                category=NORMAL,
+                body=body,
+                msg_id=MessageId(i, 2**40 + i),
+                label=-3 - i,
+                send_time=0.25 * i,
+            )
+        )
+        corpus.append(
+            Envelope(src=-1, dst=2**31 - 1, category=CONTROL, body=body,
+                     msg_id=None, label=None, send_time=-1.5)
+        )
+    return corpus
+
+
+def _probe_native(module: Any) -> Optional[str]:
+    """Self-check a compiled codec against the interpreted one; None = OK.
+
+    Runs at import before the compiled module is trusted, so a stale or
+    miscompiled build degrades to the interpreted codec instead of shipping
+    different bytes than the rest of the fleet.
+    """
+    for envelope in _probe_corpus():
+        expected = _py_encode_envelope_binary(envelope)
+        if module.encode_envelope_binary(envelope) != expected:
+            return f"encode mismatch for {envelope.category} envelope"
+        decoded = module.decode_envelope_binary(expected)
+        if type(decoded) is not Envelope or decoded != _py_decode_envelope_binary(expected):
+            return "decode mismatch"
+        if module.encode_envelope_binary(decoded) != expected:
+            return "re-encode mismatch after native decode"
+        if module.dumps_frame(envelope) != _py_dumps_frame(envelope):
+            return "frame mismatch"
+    sample = _probe_corpus()[:3]
+    if module.encode_frames(sample) != _py_encode_batch(sample):
+        return "batch mismatch"
+    return None
+
+
+def _native_dumps_frame(envelope: Envelope, version: int = WIRE_V2) -> bytes:
+    """Encode an envelope into one length-prefixed wire frame."""
+    if version == WIRE_V2:
+        return _NATIVE.dumps_frame(envelope)
+    return _py_dumps_frame(envelope, version=version)
+
+
+def _native_loads_frame(blob: Buffer) -> Envelope:
+    """Decode a frame payload (header stripped); native for binary frames."""
+    if len(blob) and blob[0] == BINARY_TAG:
+        return _NATIVE.decode_envelope_binary(blob)
+    return _py_loads_frame(blob)
+
+
+def _native_roundtrip(envelope: Envelope, version: int = WIRE_V2) -> Envelope:
+    """Serialize + deserialize an envelope through a full wire codec."""
+    if version == WIRE_V2:
+        return _NATIVE.roundtrip(envelope)
+    return _py_roundtrip(envelope, version=version)
+
+
+def _native_encode_batch(envelopes: Sequence[Envelope], version: int = WIRE_V2) -> bytes:
+    """One contiguous buffer of length-prefixed frames for a whole batch."""
+    if version == WIRE_V2:
+        return _NATIVE.encode_frames(envelopes)
+    return _py_encode_batch(envelopes, version=version)
+
+
+def _install_native() -> None:
+    """Load, configure, probe and (on success) switch in the compiled codec."""
+    global _NATIVE, encode_envelope_binary, decode_envelope_binary
+    global dumps_frame, loads_frame, roundtrip, encode_batch
+    module = _native.load("wirecodec")
+    if module is None:
+        return
+    encode_types = {
+        cls: (_KIND_CODE[kind], _BODY_FIELDS[kind])
+        for kind, cls in BODY_REGISTRY.items()
+    }
+    # isinstance-fallback table for subclassed bodies; NormalBody first to
+    # mirror the interpreted encoder's check order.
+    registry = {NORMAL_KIND: (_KIND_CODE[NORMAL_KIND], NormalBody, _BODY_FIELDS[NORMAL_KIND])}
+    for cls in CONTROL_KINDS:
+        registry[cls.kind] = (_KIND_CODE[cls.kind], cls, _BODY_FIELDS[cls.kind])
+    decode_table: List[Optional[Tuple[str, Type[Any], Tuple[str, ...]]]] = [
+        None
+    ] * (max(_KIND_CODE.values()) + 1)
+    for kind, code in _KIND_CODE.items():
+        decode_table[code] = (kind, BODY_REGISTRY[kind], _BODY_FIELDS[kind])
+    try:
+        module.configure(
+            envelope=Envelope,
+            message_id=MessageId,
+            tree_id=TreeId,
+            wire_error=WireError,
+            struct_error=struct.error,
+            control=CONTROL,
+            normal=NORMAL,
+            binary_tag=BINARY_TAG,
+            max_frame=MAX_FRAME,
+            encode_types=encode_types,
+            registry=registry,
+            decode=decode_table,
+            fast_construct=_fast_construct_safe(),
+        )
+        problem = _probe_native(module)
+    except Exception as exc:  # noqa: BLE001 - any probe failure means fallback
+        problem = f"{type(exc).__name__}: {exc}"
+    if problem is not None:
+        _native.reject("wirecodec", problem)
+        return
+    _NATIVE = module
+    encode_envelope_binary = module.encode_envelope_binary
+    decode_envelope_binary = module.decode_envelope_binary
+    dumps_frame = _native_dumps_frame
+    loads_frame = _native_loads_frame
+    roundtrip = _native_roundtrip
+    encode_batch = _native_encode_batch
+
+
+_install_native()

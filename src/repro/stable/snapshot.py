@@ -35,6 +35,7 @@ import hashlib
 import json
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro import _native
 from repro.errors import StableStorageError
 
 _SCALARS = (str, int, float, bool, type(None))
@@ -350,3 +351,92 @@ def iter_chunks(value: Any) -> Iterator[Any]:
             stack.extend(children)
         elif isinstance(node, tuple):
             stack.extend(node)
+
+
+# ----------------------------------------------------------------------
+# Native freeze/diff selection (see repro._native and DESIGN.md §14)
+# ----------------------------------------------------------------------
+
+# Interpreted implementations under stable names: the probe compares against
+# them and E-NATIVE benchmarks both backends in one process.  Everything that
+# calls ``freeze``/``diff``/``content_hash`` through this module's globals —
+# patch(), FrozenDict.__hash__, SnapshotEngine, the storage backends — picks
+# up the compiled versions automatically after the rebind below.
+_py_freeze = freeze
+_py_thaw = thaw
+_py_content_hash = content_hash
+_py_diff = diff
+
+_NATIVE: Optional[Any] = None
+
+
+def native_active() -> bool:
+    """True when the compiled snapshot path passed its probe and is in use."""
+    return _NATIVE is not None
+
+
+def _probe_native(module: Any) -> Optional[str]:
+    """Self-check the compiled path against the interpreted one; None = OK."""
+    sample = {
+        "a": [1, 2.5, "x", None, True, False],
+        "b": {"nested": (1, (2, [3, {}])), "empty": {}},
+        "c": [[], {}, (), "s", -(2**70)],
+    }
+    frozen_py = _py_freeze(sample)
+    frozen_nat = module.freeze(sample)
+    if frozen_nat != frozen_py or type(frozen_nat) is not FrozenDict:
+        return "freeze mismatch"
+    if type(frozen_nat["a"]) is not FrozenList or type(frozen_nat["b"]["nested"]) is not tuple:
+        return "freeze container-type mismatch"
+    if module.freeze(frozen_nat) is not frozen_nat:
+        return "frozen pass-through mismatch"
+    if module.content_hash(frozen_nat) != _py_content_hash(frozen_py):
+        return "content-hash mismatch"
+    if hash(frozen_nat) != hash(frozen_py):  # via the shared _content_hash cache
+        return "cached-hash mismatch"
+    thawed = module.thaw(frozen_nat)
+    if thawed != sample or type(thawed) is not dict or type(thawed["a"]) is not list:
+        return "thaw mismatch"
+    base = _py_freeze({"x": [1, 2, 3], "y": {"k": 1}, "z": "keep"})
+    target = _py_freeze({"x": [1, 5, 3, 4], "y": {"k": 2}, "w": 9})
+    if module.diff(base, target) != _py_diff(base, target):
+        return "diff mismatch"
+    if module.diff(base, base) != ("=",):
+        return "diff identity mismatch"
+    if patch(base, module.diff(base, target)) != target:
+        return "patch round-trip mismatch"
+    try:
+        module.freeze({1, 2})
+    except StableStorageError:
+        pass
+    else:
+        return "freeze error-contract mismatch"
+    return None
+
+
+def _install_native() -> None:
+    """Load, configure, probe and (on success) switch in the compiled path."""
+    global _NATIVE, freeze, thaw, content_hash, diff
+    module = _native.load("snapshot")
+    if module is None:
+        return
+    try:
+        module.configure(
+            frozen_dict=FrozenDict,
+            frozen_list=FrozenList,
+            storage_error=StableStorageError,
+        )
+        problem = _probe_native(module)
+    except Exception as exc:  # noqa: BLE001 - any probe failure means fallback
+        problem = f"{type(exc).__name__}: {exc}"
+    if problem is not None:
+        _native.reject("snapshot", problem)
+        return
+    _NATIVE = module
+    freeze = module.freeze
+    thaw = module.thaw
+    content_hash = module.content_hash
+    diff = module.diff
+
+
+_install_native()

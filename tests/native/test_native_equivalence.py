@@ -1,0 +1,228 @@
+"""The native build's contract: same bytes, same traces, honest fallback.
+
+Three layers:
+
+* loader/build units — always run, toolchain or not;
+* native-vs-interpreted equality — byte-identical frames, equal snapshot
+  values — skipped with a reason when the extensions are not built;
+* whole-run equivalence — the golden figure 2/3/4 workloads produce
+  JSON-identical summaries under ``REPRO_NATIVE=0`` and the native build,
+  exercised through subprocesses because the backend is import-time.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import _native
+from repro._native import build as B
+from repro.core import messages as M
+from repro.net.message import normal
+from repro.runtime import wire
+from repro.stable import snapshot as snap
+from repro.types import MessageId
+
+needs_native = pytest.mark.skipif(
+    not (wire.native_active() and snap.native_active()),
+    reason="native extensions not built (no C toolchain); interpreted fallback in use",
+)
+
+SRC_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _child_env(native: bool) -> dict:
+    env = dict(os.environ)
+    env["REPRO_NATIVE"] = "auto" if native else "0"
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _run_child(code: str, native: bool) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env=_child_env(native), capture_output=True, text=True, check=True,
+    )
+    return proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Loader / build units (toolchain-independent)
+# ----------------------------------------------------------------------
+def test_status_reports_every_hot_path_and_engine_is_honest():
+    report = _native.status()
+    assert set(report) == {"engine", "wirecodec", "snapshot"}
+    # The engine is never compiled in this environment; the loader must say
+    # so rather than pretend.
+    assert report["engine"]["backend"] == "interpreted"
+    assert "mypyc" in report["engine"]["reason"]
+    for name in ("wirecodec", "snapshot"):
+        assert report[name]["backend"] in ("cext", "interpreted")
+        if report[name]["backend"] == "cext":
+            assert report[name]["abi"] == _native.NATIVE_ABI
+        else:
+            assert report[name]["reason"]
+
+
+def test_build_paths_and_command_shape():
+    path = B.artifact_path("wirecodec")
+    assert path.endswith(B.ext_suffix())
+    assert os.path.dirname(path) == os.path.dirname(os.path.abspath(B.__file__))
+    assert B.source_path("wirecodec").endswith("_wirecodec.c")
+    compiler = B.find_compiler()
+    if compiler is not None:
+        cmd = B.compile_command(
+            compiler, B.source_path("snapshot"), B.artifact_path("snapshot")
+        )
+        assert "-O2" in cmd and "-shared" in cmd and "-fPIC" in cmd
+        assert cmd[-1] == B.artifact_path("snapshot")
+
+
+def test_env_knob_forces_interpreted_mode_in_subprocess():
+    out = _run_child(
+        "from repro.runtime import wire\n"
+        "from repro.stable import snapshot\n"
+        "print(wire.native_active(), snapshot.native_active())",
+        native=False,
+    )
+    assert out.split() == ["False", "False"]
+
+
+@needs_native
+def test_require_mode_activates_native_in_subprocess():
+    env = _child_env(native=True)
+    env["REPRO_NATIVE"] = "require"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro._native", "status", "--require", "--json"],
+        env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(proc.stdout)
+    assert report["wirecodec"]["backend"] == "cext"
+    assert report["snapshot"]["backend"] == "cext"
+
+
+# ----------------------------------------------------------------------
+# Byte-for-byte codec equality
+# ----------------------------------------------------------------------
+@needs_native
+def test_probe_corpus_frames_are_byte_identical():
+    # The import-time self-check corpus, re-asserted explicitly: native and
+    # interpreted encoders produce the same bytes, and cross-decoding agrees.
+    for env in wire._probe_corpus():
+        py_frame = wire._py_dumps_frame(env, version=wire.WIRE_V2)
+        nat_frame = wire.dumps_frame(env, version=wire.WIRE_V2)
+        assert nat_frame == py_frame
+        blob = py_frame[wire.HEADER_SIZE:]
+        nat = wire.loads_frame(blob)
+        py = wire._py_loads_frame(blob)
+        for attr in ("src", "dst", "category", "msg_id", "label", "send_time", "body"):
+            assert getattr(nat, attr) == getattr(py, attr)
+        assert type(nat.body) is type(py.body)
+
+
+_payloads = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**70), max_value=2**70),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=16),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=6), children, max_size=3),
+        st.sets(st.one_of(st.integers(-100, 100), st.text(max_size=6)), max_size=4),
+    ),
+    max_leaves=8,
+)
+
+
+@needs_native
+@settings(max_examples=100, deadline=None)
+@given(payload=_payloads, label=st.integers(0, 2**40), send_time=st.floats(0, 1e6))
+def test_native_and_python_encoders_agree_on_arbitrary_payloads(
+    payload, label, send_time
+):
+    env = normal(1, 2, MessageId(1, 7), label=label, body=M.NormalBody(payload=payload))
+    env.send_time = send_time
+    assert wire.dumps_frame(env, version=wire.WIRE_V2) == wire._py_dumps_frame(
+        env, version=wire.WIRE_V2
+    )
+    blob = wire.dumps_frame(env, version=wire.WIRE_V2)[wire.HEADER_SIZE:]
+    assert wire.loads_frame(blob).body == wire._py_loads_frame(blob).body
+
+
+# ----------------------------------------------------------------------
+# Snapshot value equality + hash interop
+# ----------------------------------------------------------------------
+@needs_native
+def test_native_snapshot_values_equal_interpreted_ones():
+    state = {
+        "a": [1, 2, {"x": (True, None)}],
+        "b": {"nested": {"deep": [3.5, "s"]}},
+        "c": "plain",
+    }
+    nat, py = snap.freeze(state), snap._py_freeze(state)
+    assert nat == py
+    assert type(nat) is type(py) is snap.FrozenDict
+    assert snap.content_hash(nat) == snap._py_content_hash(py)
+    # The cached hash lives in the same slot either way, so native-frozen and
+    # python-frozen values interoperate as dict keys / set members.
+    assert hash(nat) == hash(py)
+    assert {nat: 1}[py] == 1
+
+    changed = {"a": [1, 2, {"x": (True, None)}], "b": {"nested": {}}, "c": "plain"}
+    target = snap._py_freeze(changed)
+    assert snap.diff(nat, target) == snap._py_diff(py, target)
+    assert snap.thaw(nat) == snap._py_thaw(py) == state
+
+
+# ----------------------------------------------------------------------
+# Whole-run equivalence: golden figure workloads, subprocess A/B
+# ----------------------------------------------------------------------
+_GOLDEN_CHILD = r"""
+import json
+from repro.core import CheckpointProcess
+from repro.net import FixedDelay
+from repro.sim import Simulation
+from repro.workloads import (
+    ScriptedWorkload, figure2_steps, figure3_steps, figure4_steps,
+)
+
+out = {}
+for name, (steps, pids) in {
+    "figure2": (figure2_steps, (0, 1)),
+    "figure3": (figure3_steps, (1, 4)),
+    "figure4": (figure4_steps, (1, 4)),
+}.items():
+    sim = Simulation(seed=1, delay_model=FixedDelay(0.5))
+    procs = {i: sim.add_node(CheckpointProcess(i)) for i in range(pids[0], pids[1] + 1)}
+    ScriptedWorkload(steps()).install(sim, procs)
+    sim.run(until=40.0)
+    out[name] = {
+        "events": [
+            [e.time, e.kind, e.pid, sorted(e.fields.items(), key=repr)]
+            for e in sim.trace
+        ],
+        "final_seq": {pid: proc.store.oldchkpt.seq for pid, proc in procs.items()},
+        "normal_sent": sim.network.normal_sent,
+        "control_sent": sim.network.control_sent,
+        "delivered": sim.network.delivered,
+    }
+print(json.dumps(out, sort_keys=True, default=repr))
+"""
+
+
+@needs_native
+def test_golden_figures_are_bit_identical_across_backends():
+    interpreted = _run_child(_GOLDEN_CHILD, native=False)
+    native = _run_child(_GOLDEN_CHILD, native=True)
+    assert json.loads(native) == json.loads(interpreted)
+    # Byte-level too: same serialization of the same trace, no float drift.
+    assert native == interpreted
