@@ -1,0 +1,66 @@
+"""E-CHURN — membership-churn rows + ``BENCH_CHURN.json``.
+
+Runs the :mod:`repro.bench.churn` sweep (LB 2PC vs cooperative partial
+snapshots, with and without join/leave churn) and gates the membership
+plane's core claims on every row:
+
+* every row's merged trace passed the churn-tolerant C1 battery
+  (mid-trace joiner manifests, departed pids as settled history);
+* churn does not wedge checkpointing: nonzero-churn rows still commit
+  instances, for both algorithms;
+* dependency scoping survives scale: mean checkpoint scope stays well
+  below the cluster size (the reason either algorithm beats a global
+  snapshot at n >= 256).
+
+The rows merge into ``BENCH_CHURN.json`` under the ``echurn`` key.  CI
+runs this with ``ECHURN_QUICK=1``; the committed artifact comes from the
+full sweep (n=256, churn 8+8, three seeds).
+"""
+
+import json
+import pathlib
+
+from repro.bench.churn import experiment_churn, quick_mode
+from repro.bench.harness import format_table, print_experiment, rows_to_json
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_CHURN.json"
+
+
+def merge_artifact(key, payload):
+    data = {}
+    if ARTIFACT.exists():
+        data = json.loads(ARTIFACT.read_text())
+    data[key] = payload
+    ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_churn_sweep(run_once):
+    rows = run_once(experiment_churn)
+    print_experiment("E-CHURN", format_table(rows))
+
+    assert rows, "echurn rows missing"
+    algorithms = {row["algorithm"] for row in rows}
+    assert algorithms == {"leu-bhargava", "cooperative"}
+    for row in rows:
+        # Every sweep point ran the trace-based consistency battery.
+        assert row["c1_ok"] is True, row
+        # Checkpointing made progress at every churn level.
+        assert row["committed"] > 0, row
+        # Dependency scoping held: no instance swept the whole cluster.
+        assert row["mean_scope"] < row["n"], row
+
+    churned = [r for r in rows if r["joins"] > 0]
+    assert churned, "no nonzero-churn sweep point"
+    if not quick_mode():
+        # The headline point: both algorithms under churn at n >= 256.
+        assert {r["algorithm"] for r in churned if r["n"] >= 256} == {
+            "leu-bhargava", "cooperative"
+        }
+
+    merge_artifact(
+        "echurn",
+        {
+            "title": "E-CHURN — checkpointing under membership churn",
+            "rows": rows_to_json(rows),
+        },
+    )

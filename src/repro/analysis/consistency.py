@@ -28,9 +28,24 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.index import as_index
 from repro.errors import ConsistencyViolation
+from repro.tracekinds import K_LEAVE
 from repro.types import ProcessId
 
 MsgKey = Tuple[ProcessId, int]  # (sender pid, send index) — globally unique
+
+
+def departed_pids(trace) -> Set[ProcessId]:
+    """Pids that gracefully left the membership during the trace.
+
+    A departed pid's last committed checkpoint is frozen at whatever it
+    was before the leave, and the pid will never be restarted — so its
+    sends are *settled history*: no rollback can ever unsend them, and a
+    survivor's checkpoint reflecting their receipt is not an orphan.  The
+    trace-based checkers therefore exclude departed pids from the recovery
+    line.
+    """
+    index = as_index(trace)
+    return {e.fields["pid"] if e.pid is None else e.pid for e in index.by_kind(K_LEAVE)}
 
 
 def check_c1(processes: Iterable) -> None:
@@ -100,7 +115,9 @@ def check_c1_from_trace(trace, pids: Optional[Iterable[ProcessId]] = None) -> No
     a reloaded jsonl stream.
     """
     index = as_index(trace)
+    departed = departed_pids(index)
     members = sorted(pids) if pids is not None else index.pids()
+    members = [pid for pid in members if pid not in departed]
     sent_by: Dict[ProcessId, Set[int]] = {}
     for pid in members:
         view = index.last_committed_manifest(pid)
@@ -127,7 +144,9 @@ def check_no_dangling_receives_from_trace(
     in place of the live process ledgers.
     """
     index = as_index(trace)
+    departed = departed_pids(index)
     members = sorted(pids) if pids is not None else index.pids()
+    members = [pid for pid in members if pid not in departed]
     for pid in members:
         for src, idx in index.live_receives(pid):
             if index.send_is_live(src, idx) is False:

@@ -7,6 +7,7 @@ Leu-Bhargava processes; see DESIGN.md for the per-algorithm feature matrix.
 from repro.baselines.barigazzi_strigini import BarigazziStriginiProcess
 from repro.baselines.base import BaselineProcess
 from repro.baselines.chandy_lamport import ChandyLamportProcess
+from repro.baselines.cooperative import CooperativeProcess
 from repro.baselines.koo_toueg import KooTouegProcess
 from repro.baselines.tamir_sequin import TamirSequinProcess
 from repro.baselines.uncoordinated import UncoordinatedProcess
@@ -15,6 +16,7 @@ __all__ = [
     "BarigazziStriginiProcess",
     "BaselineProcess",
     "ChandyLamportProcess",
+    "CooperativeProcess",
     "KooTouegProcess",
     "TamirSequinProcess",
     "UncoordinatedProcess",

@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, List, Tuple
 
 from repro.bench import ablations as A
 from repro.bench import app as APP
+from repro.bench import churn as CH
 from repro.bench import experiments as E
 from repro.bench import live as L
 from repro.bench import native as N
@@ -59,6 +60,7 @@ REGISTRY: Dict[str, Tuple[str, Callable[[], List[Dict[str, Any]]]]] = {
     "enative": ("E-NATIVE — compiled vs interpreted hot paths", lambda: N.experiment_native()),
     "escale-shards": ("E-SCALE — sharded runtime scaling", lambda: SH.experiment_shards()),
     "eapp": ("E-APP — checkpoint-as-a-service job workload", lambda: APP.experiment_app()),
+    "echurn": ("E-CHURN — checkpointing under membership churn", lambda: CH.experiment_churn()),
 }
 
 

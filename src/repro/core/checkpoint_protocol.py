@@ -153,6 +153,11 @@ class ChkptProtocolMixin:
         first = oldchkpt.seq if oldchkpt is not None else interval
         potentials = self.ledger.senders_in_range(min(first, interval), interval)
         potentials.pop(self.node_id, None)  # self-messages never force a child
+        # Gracefully departed senders can never answer a chkpt_req; their
+        # obligations travelled to a successor in the handoff, so their
+        # messages count as settled history rather than live dependencies.
+        for gone in self.departed_peers:
+            potentials.pop(gone, None)
         # Union, not assignment: a re-recruited node merges the new round's
         # potential children into its existing collection.
         tree.pending_acks |= set(potentials)

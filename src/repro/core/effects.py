@@ -27,6 +27,8 @@ effect                    simulation / live-runtime interpretation
 ``Redeliver``             synchronously re-inject a spooled envelope
 ``Rollback``              informational: the state was restored to ``to_seq``
                           (no kernel action; consumed by analysis harnesses)
+``Handoff``               wrap the departing engine's obligations into a
+                          ``HandoffMsg`` control message to its successor
 ========================  ====================================================
 
 The engine state already reflects each effect when it is emitted; adapters
@@ -40,7 +42,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.compat import slotted_dataclass
 from repro.net.message import Envelope
 from repro.priorities import PRIORITY_TIMER
-from repro.types import Seq, SimTime, TreeId
+from repro.types import ProcessId, Seq, SimTime, TreeId
 
 #: SaveCheckpoint/CommitThrough/DiscardCheckpoints target the two-slot store
 #: of the base algorithm ("slot") or the pending stack of the extension
@@ -160,6 +162,33 @@ class Rollback:
     tree: Optional[TreeId] = None
 
 
+@slotted_dataclass(frozen=True)
+class Handoff:
+    """Hand the departing engine's checkpoint obligations to ``successor``.
+
+    Emitted while handling a :class:`repro.core.events.Leave` addressed to
+    this engine.  The adapter wraps the payload into a
+    :class:`repro.core.messages.HandoffMsg` control message and transmits it
+    to ``successor`` over the ordinary network path, so the handoff is
+    wire-serializable and crosses shard links like any other control
+    traffic.
+
+    ``commit_set`` — trees the departing pid's uncommitted checkpoint was a
+    member of; ``decisions`` — the ``(tree, decision)`` log so the successor
+    can answer rule-6 inquiries on the departed pid's behalf;
+    ``uncommitted_seq`` — the seq of the departed pid's (now aborted)
+    uncommitted checkpoint, if any; ``spooled`` — ``(src, label)``
+    summaries of the dead letters drained from its spooler group.
+    """
+
+    successor: ProcessId
+    source: ProcessId
+    commit_set: Tuple[TreeId, ...] = ()
+    decisions: Tuple[Tuple[TreeId, str], ...] = ()
+    uncommitted_seq: Optional[Seq] = None
+    spooled: Tuple[Tuple[ProcessId, Optional[int]], ...] = ()
+
+
 Effect = Any  # any of the classes above; kept loose for Python 3.9
 
 __all__ = [
@@ -169,6 +198,7 @@ __all__ = [
     "DiscardCheckpoints",
     "Effect",
     "EmitTrace",
+    "Handoff",
     "ObserveDecision",
     "PersistMeta",
     "Redeliver",

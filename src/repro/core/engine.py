@@ -39,7 +39,7 @@ Suspension model (paper 3.5.2 comments):
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.compat import slotted_dataclass
 from repro.core import effects as FX
@@ -48,6 +48,7 @@ from repro.core import messages as M
 from repro.core.app import Application, CounterApp
 from repro.core.checkpoint_protocol import ChkptProtocolMixin
 from repro.core.labels import LabelLedger
+from repro.core.membership_protocol import MembershipMixin
 from repro.core.recovery import RecoveryMixin
 from repro.core.rollback_protocol import RollProtocolMixin
 from repro.core.trees import TreeRegistry
@@ -273,6 +274,14 @@ class EngineBase:
         # Analysis-only archive of every committed checkpoint, in order.
         self.committed_history: List[Any] = []
         self.crashed = False
+        # Graceful-departure state (repro.core.membership_protocol): set
+        # once by a Leave event addressed to this engine; ``adopted`` maps
+        # departed pids to the HandoffMsg this engine accepted for them.
+        self.departed = False
+        self.adopted: Dict[ProcessId, Any] = {}
+        # Peers that departed gracefully: excluded from instance
+        # recruitment (their obligations travelled in the handoff).
+        self.departed_peers: Set[ProcessId] = set()
         self.peers: Tuple[ProcessId, ...] = ()
         # Host-settable quiesce switch: while False, the checkpoint timer
         # keeps re-arming but initiates nothing, so a host can drain every
@@ -727,6 +736,9 @@ _EVENT_DISPATCH: Dict[type, str] = {
     EV.Recover: "_ev_recover",
     EV.FailureNotice: "_ev_failure_notice",
     EV.RecoveryNotice: "_ev_recovery_notice",
+    EV.Join: "_ev_join",
+    EV.Leave: "_ev_leave",
+    EV.ViewChange: "_ev_view_change",
 }
 
 _CONTROL_DISPATCH: Dict[type, str] = {
@@ -741,6 +753,7 @@ _CONTROL_DISPATCH: Dict[type, str] = {
     M.Restart: "_on_restart",
     M.DecisionInquiry: "_on_decision_inquiry",
     M.DecisionReply: "_on_decision_reply",
+    M.HandoffMsg: "_on_handoff",
 }
 
 
@@ -749,7 +762,9 @@ _CONTROL_DISPATCH: Dict[type, str] = {
 RULE1_PRIORITY = PRIORITY_NORMAL
 
 
-class ProtocolEngine(ChkptProtocolMixin, RollProtocolMixin, RecoveryMixin, EngineBase):
+class ProtocolEngine(
+    ChkptProtocolMixin, RollProtocolMixin, RecoveryMixin, MembershipMixin, EngineBase
+):
     """The full Leu-Bhargava daemon as a pure state machine."""
 
 

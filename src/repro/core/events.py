@@ -133,6 +133,55 @@ class Recover:
 
 
 @slotted_dataclass(frozen=True)
+class Join:
+    """The membership plane announces that ``pid`` joined the cluster.
+
+    Delivered to every *existing* engine (the joiner itself receives a
+    normal :class:`Start` whose ``peers`` already include it).  ``peers`` is
+    the full post-join membership; an empty tuple means "add ``pid`` to what
+    you already believe" (used by drivers that have no global view).
+    """
+
+    pid: ProcessId
+    peers: Tuple[ProcessId, ...] = ()
+    at: SimTime = 0.0
+
+
+@slotted_dataclass(frozen=True)
+class Leave:
+    """A graceful departure (paper extension; Nakamura-style dynamism).
+
+    Delivered to the departing engine itself — which resolves its open
+    checkpoint obligations and hands the rest to ``successor`` via a
+    :class:`repro.core.effects.Handoff` effect — and to every remaining
+    engine, which drops ``pid`` from its peer set and from every open
+    instance round so no 2PC blocks on a departed member.
+
+    ``spooled`` carries ``(src, label)`` summaries of the envelopes drained
+    from the departing pid's spooler group (dead letters, salvaged for
+    accounting and carried to the successor in the handoff).
+    """
+
+    pid: ProcessId
+    successor: Optional[ProcessId] = None
+    spooled: Tuple[Tuple[ProcessId, Optional[int]], ...] = ()
+    at: SimTime = 0.0
+
+
+@slotted_dataclass(frozen=True)
+class ViewChange:
+    """A full membership refresh from the plane (epoch-numbered).
+
+    Coarser than :class:`Join`/:class:`Leave`: the engine replaces its peer
+    tuple wholesale.  Used by drivers that batch several transitions.
+    """
+
+    epoch: int
+    pids: Tuple[ProcessId, ...]
+    at: SimTime = 0.0
+
+
+@slotted_dataclass(frozen=True)
 class FailureNotice:
     """The failure detector reports that peer ``pid`` crashed."""
 
@@ -161,9 +210,12 @@ __all__ = [
     "FailureNotice",
     "InitiateCheckpoint",
     "InitiateRollback",
+    "Join",
+    "Leave",
     "LocalStep",
     "Recover",
     "RecoveryNotice",
     "Start",
     "TimerFired",
+    "ViewChange",
 ]

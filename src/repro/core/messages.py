@@ -192,6 +192,31 @@ class DecisionReply:
     kind = "decision_reply"
 
 
+# ----------------------------------------------------------------------
+# Dynamic membership — graceful-departure handoff
+# ----------------------------------------------------------------------
+
+@slotted_dataclass(frozen=True)
+class HandoffMsg:
+    """A departing process hands its checkpoint obligations to a successor.
+
+    Carries the departed pid's commit-set membership (trees its uncommitted
+    checkpoint belonged to), its decision log (so the successor can answer
+    :class:`DecisionInquiry` on its behalf), the seq of its aborted
+    uncommitted checkpoint, and ``(src, label)`` summaries of the dead
+    letters drained from its spooler group.
+    """
+
+    source: int
+    commit_set: Tuple[TreeId, ...] = ()
+    decisions: Tuple[Tuple[TreeId, str], ...] = ()
+    uncommitted_seq: Optional[Seq] = None
+    spooled: Tuple[Tuple[int, Optional[int]], ...] = ()
+
+    priority = PRIORITY_CHECKPOINT
+    kind = "handoff"
+
+
 CONTROL_KINDS = (
     ChkptReq,
     ChkptAck,
@@ -204,4 +229,5 @@ CONTROL_KINDS = (
     Restart,
     DecisionInquiry,
     DecisionReply,
+    HandoffMsg,
 )

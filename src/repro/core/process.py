@@ -27,6 +27,7 @@ from typing import Any, Optional, Tuple
 
 from repro.core import effects as FX
 from repro.core import events as EV
+from repro.core import messages as M
 from repro.core.app import Application
 from repro.core.engine import ProtocolConfig, ProtocolEngine  # noqa: F401  (re-export)
 from repro.net.message import Envelope, control
@@ -186,6 +187,25 @@ class CheckpointProcess(Node):
     def on_recovery_notice(self, pid: ProcessId) -> None:
         self.engine.handle(EV.RecoveryNotice(pid=pid, at=self.now))
 
+    # -- dynamic membership (repro.membership) -------------------------
+    def on_join_peer(self, pid: ProcessId) -> None:
+        self.engine.handle(
+            EV.Join(pid=pid, peers=tuple(self.sim.process_ids), at=self.now)
+        )
+
+    def on_leave_peer(self, pid: ProcessId, successor: Optional[ProcessId]) -> None:
+        self.engine.handle(EV.Leave(pid=pid, successor=successor, at=self.now))
+
+    def on_leave(self, successor: Optional[ProcessId], spooled: tuple = ()) -> None:
+        self.engine.handle(
+            EV.Leave(
+                pid=self.node_id,
+                successor=successor,
+                spooled=tuple(spooled),
+                at=self.now,
+            )
+        )
+
     # ------------------------------------------------------------------
     # Engine effects -> kernel actions
     # ------------------------------------------------------------------
@@ -234,6 +254,24 @@ class CheckpointProcess(Node):
                         dst=pid, msg_type=body.kind, tree=getattr(body, "tree", None),
                     )
                     self.send(control(self.node_id, pid, body))
+        elif isinstance(eff, FX.Handoff):
+            self.sim.trace.record(
+                self.now, T.K_CTRL_SEND, pid=self.node_id,
+                dst=eff.successor, msg_type="handoff", tree=None,
+            )
+            self.send(
+                control(
+                    self.node_id,
+                    eff.successor,
+                    M.HandoffMsg(
+                        source=eff.source,
+                        commit_set=eff.commit_set,
+                        decisions=eff.decisions,
+                        uncommitted_seq=eff.uncommitted_seq,
+                        spooled=eff.spooled,
+                    ),
+                )
+            )
         elif isinstance(eff, FX.Rollback):
             pass  # informational; the engine already restored its app state
 

@@ -222,6 +222,9 @@ class RollProtocolMixin:
 
         bad_seq, potential = self.ledger.undo_summary(undone_sends, fallback=self.ledger.n)
         potential.discard(self.node_id)
+        # Gracefully departed receivers cannot roll back; the messages they
+        # received from us are settled history (see the membership plane).
+        potential -= self.departed_peers
         undone_upto = self.ledger.n
         for record in undone_sends:
             record.undone_by = (tree.tree, bad_seq, undone_upto)

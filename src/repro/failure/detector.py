@@ -32,6 +32,9 @@ class FailureDetector:
         self.detection_latency = detection_latency
         self._known_down: Set[ProcessId] = set()
         sim.failure_detector = self
+        membership = getattr(sim, "membership", None)
+        if membership is not None:
+            membership.subscribe(self._on_view_change)
 
     # ------------------------------------------------------------------
     # Reports from the simulation
@@ -62,6 +65,17 @@ class FailureDetector:
         for other in self.sim.process_ids:
             if other != pid and self.sim.is_alive(other):
                 self.sim.nodes[other].on_failure_notice(pid)
+
+    # ------------------------------------------------------------------
+    # Membership plane
+    # ------------------------------------------------------------------
+    def _on_view_change(self, view: object) -> None:
+        """Prune beliefs about pids that are no longer members."""
+        self._known_down &= set(view.pids)  # type: ignore[attr-defined]
+
+    def forget(self, pid: ProcessId) -> None:
+        """A pid departed gracefully; it is neither up nor down."""
+        self._known_down.discard(pid)
 
     def _notify_recovery(self, pid: ProcessId) -> None:
         if not self.sim.is_alive(pid):

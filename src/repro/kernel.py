@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
 
 from repro.errors import SimulationError
+from repro.membership import MembershipPlane
 from repro.types import IdAllocator, ProcessId, SimTime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -120,6 +121,7 @@ class KernelCore:
         self.nodes: Dict[ProcessId, "Node"] = {}
         self.ids = IdAllocator()
         self.failure_detector: Optional[Any] = None
+        self.membership = MembershipPlane()
 
     # ------------------------------------------------------------------
     # Topology
@@ -130,7 +132,74 @@ class KernelCore:
             raise SimulationError(f"duplicate node id {node.node_id}")
         node.bind(self)
         self.nodes[node.node_id] = node
+        self.membership.seed(node.node_id)
         return node
+
+    def join_node(self, node: "Node") -> "Node":
+        """Admit ``node`` into a *running* system (graceful join).
+
+        The membership-plane sequence is identical in both kernels: the pid
+        enters the view pending, the node is registered and started, the
+        join commits (bumping the view epoch and notifying subscribers —
+        network, detectors, shard rings), and finally every other live node
+        hears ``on_join_peer``.  The joiner itself learns the world through
+        its ordinary ``on_start``.
+        """
+        from repro.sim import trace as T  # deferred: repro.sim imports this module
+
+        pid = node.node_id
+        self.membership.begin_join(pid)
+        node.bind(self)
+        self.nodes[pid] = node
+        self.trace.record(self.now, T.K_JOIN, pid=pid, epoch=self.membership.view.epoch + 1)
+        node.on_start()
+        self.membership.complete_join(pid)
+        # Iterate hosted nodes, not process_ids: a sharded kernel answers
+        # for the whole cluster but hosts (and notifies) only its slice.
+        for peer in sorted(self.nodes):
+            if peer != pid and not self.nodes[peer].crashed:
+                self.nodes[peer].on_join_peer(pid)
+        return node
+
+    def leave_node(self, pid: ProcessId, successor: Optional[ProcessId] = None) -> None:
+        """Gracefully retire ``pid`` from a running system.
+
+        Unlike :meth:`crash`, departure is cooperative: the node's spooler
+        group is drained (dead letters travel as ``(src, label)`` summaries
+        in the handoff), the node resolves its protocol obligations via
+        ``on_leave`` (which may transmit a handoff to ``successor``), and
+        only then is it removed and the view change published.
+        """
+        from repro.sim import trace as T  # deferred: repro.sim imports this module
+
+        node = self.nodes.get(pid)
+        if node is None:
+            raise SimulationError(f"P{pid} is not a member")
+        if node.crashed:
+            raise SimulationError(f"P{pid} is crashed; use recover() first")
+        if successor is not None and not self.is_alive(successor):
+            raise SimulationError(f"successor P{successor} is not alive")
+        self.membership.begin_leave(pid)
+        group = self.network.spooler_for(pid)  # type: ignore[attr-defined]
+        spooled: tuple = ()
+        if group is not None:
+            spooled = tuple(
+                (env.src, env.label) for env in group.drain(self.is_alive)
+            )
+        self.trace.record(
+            self.now, T.K_LEAVE, pid=pid,
+            epoch=self.membership.view.epoch + 1, successor=successor,
+        )
+        node.on_leave(successor, spooled)
+        node.cancel_all_timers()
+        node.crashed = True  # nothing may run on it past this point
+        del self.nodes[pid]
+        self.membership.complete_leave(pid)
+        if self.failure_detector is not None:
+            self.failure_detector.forget(pid)
+        for peer in sorted(self.nodes):
+            if not self.nodes[peer].crashed:
+                self.nodes[peer].on_leave_peer(pid, successor)
 
     def node(self, pid: ProcessId) -> "Node":
         return self.nodes[pid]

@@ -48,6 +48,8 @@ class ClusterHarness:
         # No checkpoint timer: every initiation is an explicit choice, so
         # the explorer controls *all* nondeterminism.
         config = ProtocolConfig(checkpoint_interval=None)
+        self._engine_class = cls
+        self._config = config
         self.engines: Dict[ProcessId, ProtocolEngine] = {
             pid: cls(pid, config=config) for pid in range(scenario.n)
         }
@@ -93,6 +95,9 @@ class ClusterHarness:
         at = float(self.step)
         if key[0] == "a":
             pid, op = self._pending_actions.pop(key[1])
+            if op == "join":
+                self._join(pid, at)
+                return
             event = (
                 EV.InitiateCheckpoint(at=at)
                 if op == "checkpoint"
@@ -102,6 +107,20 @@ class ClusterHarness:
         else:
             envelope = self.in_flight.pop(key)
             self._handle(envelope.dst, EV.Deliver(envelope=envelope, at=at))
+
+    def _join(self, pid: ProcessId, at: float) -> None:
+        """Admit a new engine mid-exploration (the membership plane's
+        view-change, collapsed to one atomic choice as the kernel front
+        doors make it)."""
+        engine = self._engine_class(pid, config=self._config)
+        engine._sink = lambda eff, pid=pid: self._apply(pid, eff)
+        self.engines[pid] = engine
+        peers = tuple(sorted(self.engines))
+        self.trace.record(at, "join", pid=pid, epoch=len(self.engines))
+        self._handle(pid, EV.Start(peers=peers, at=at))
+        for other in sorted(self.engines):
+            if other != pid:
+                self._handle(other, EV.Join(pid=pid, peers=peers, at=at))
 
     @property
     def quiescent(self) -> bool:

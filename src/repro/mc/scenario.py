@@ -26,7 +26,9 @@ class Scenario:
     n: int
     #: Application sends executed before exploration: (src, dst, payload).
     setup: Tuple[Tuple[ProcessId, ProcessId, str], ...]
-    #: Explored initiations: (pid, "checkpoint" | "rollback").
+    #: Explored initiations: (pid, "checkpoint" | "rollback" | "join").
+    #: A ``join`` action's pid must lie outside ``0..n-1``: it names the
+    #: process the membership plane admits mid-exploration.
     actions: Tuple[Tuple[ProcessId, str], ...]
 
     def __post_init__(self) -> None:
@@ -36,10 +38,15 @@ class Scenario:
             if not (0 <= src < self.n and 0 <= dst < self.n):
                 raise ValueError(f"setup send {src}->{dst} outside 0..{self.n - 1}")
         for pid, op in self.actions:
-            if not 0 <= pid < self.n:
-                raise ValueError(f"action pid {pid} outside 0..{self.n - 1}")
-            if op not in ("checkpoint", "rollback"):
+            if op not in ("checkpoint", "rollback", "join"):
                 raise ValueError(f"unknown action {op!r}")
+            if op == "join":
+                if 0 <= pid < self.n:
+                    raise ValueError(
+                        f"join pid {pid} is already a member (0..{self.n - 1})"
+                    )
+            elif not 0 <= pid < self.n:
+                raise ValueError(f"action pid {pid} outside 0..{self.n - 1}")
 
 
 def _ring(n: int) -> Tuple[Tuple[ProcessId, ProcessId, str], ...]:
@@ -85,10 +92,32 @@ def isolated_rollback(n: int = 3) -> Scenario:
     )
 
 
+def join_mid_instance(n: int = 3) -> Scenario:
+    """A process joins while a checkpoint instance is in flight.
+
+    ``P(n-1)`` initiates a checkpoint over a message chain while ``Pn``
+    joins the cluster; the explorer places the join at every point
+    relative to the 2PC — before initiation, between initiation and
+    commit, after commit.  The membership plane's claim is that a join is
+    *inert* for open instances: a joiner with no communication history can
+    never be recruited, so the instance must neither block nor lose
+    minimality (the joiner takes no checkpoint), and the usual quiescent
+    battery must hold over the enlarged membership.
+    """
+    chain = tuple((i, i + 1, f"m{i}") for i in range(n - 1))
+    return Scenario(
+        name="join-mid-instance",
+        n=n,
+        setup=chain,
+        actions=((n - 1, "checkpoint"), (n, "join")),
+    )
+
+
 SCENARIOS: Dict[str, Callable[[int], Scenario]] = {
     "concurrent": concurrent,
     "isolated-checkpoint": isolated_checkpoint,
     "isolated-rollback": isolated_rollback,
+    "join-mid-instance": join_mid_instance,
 }
 
 

@@ -59,6 +59,9 @@ class Network:
         self.delivered = 0
         self.dropped = 0
         self.spooled = 0
+        # Envelopes addressed to a gracefully-departed pid that were
+        # salvaged (spooled or counted-and-dropped) instead of raising.
+        self.salvaged_departed = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -154,10 +157,21 @@ class Network:
         else:
             self.normal_sent += 1
 
+    def _is_departed(self, pid: ProcessId) -> bool:
+        membership = getattr(self.sim, "membership", None)
+        return membership is not None and membership.is_departed(pid)
+
     def transmit(self, envelope: Envelope) -> None:
         """Accept an envelope from ``envelope.src`` and schedule its delivery."""
         sim = self.sim
         if envelope.dst not in sim.nodes:
+            if self._is_departed(envelope.dst):
+                # A member left gracefully while this sender still held a
+                # stale view; salvage rather than treat as a routing error.
+                self._accept(envelope)
+                self.salvaged_departed += 1
+                self.spool_or_drop(envelope, "departed")
+                return
             raise NetworkError(f"unknown destination P{envelope.dst}")
         self._accept(envelope)
         delay = self.delay_model.sample(sim.rng, envelope.src, envelope.dst)
@@ -173,7 +187,12 @@ class Network:
     def _deliver(self, envelope: Envelope) -> None:
         sim = self.sim
         envelope.deliver_time = sim.now
-        dst_node = sim.nodes[envelope.dst]
+        dst_node = sim.nodes.get(envelope.dst)
+        if dst_node is None:
+            # The destination departed while this envelope was in flight.
+            self.salvaged_departed += 1
+            self.spool_or_drop(envelope, "departed")
+            return
 
         if not self.reachable(envelope.src, envelope.dst):
             self.dropped += 1

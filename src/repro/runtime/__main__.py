@@ -5,12 +5,17 @@ Usage::
     python -m repro.runtime                                  # 3-node TCP demo
     python -m repro.runtime --nodes 4 --transport loopback
     python -m repro.runtime --kill 1@8 --restart 1@18        # mid-run failure
+    python -m repro.runtime --join 3@10 --leave 1@20:0       # grow + shrink
     python -m repro.runtime --duration 40 --time-scale 0.02 --out runs/live
     python -m repro.runtime --nodes 8 --shards 2             # multi-process
 
 The run drives a Poisson peer workload with periodic autonomous checkpoints
 and the Section 6 resilience machinery on, optionally killing and
-restarting nodes mid-run.  Afterwards the per-node JSONL traces are merged
+restarting nodes mid-run.  ``--join``/``--leave`` exercise the membership
+plane instead: a join provisions storage and an endpoint for a brand-new
+pid and admits it as a full participant; a graceful leave hands the
+departing node's checkpoint obligations to a successor and retires its
+endpoint.  Afterwards the per-node JSONL traces are merged
 into one :class:`~repro.analysis.index.TraceIndex` and the paper's C1
 consistency definition is checked against the reconstructed recovery line —
 the same oracle the simulated test suite uses, now applied to a live run.
@@ -48,6 +53,22 @@ def parse_events(specs: List[str]) -> List[Tuple[int, float]]:
     return events
 
 
+def parse_leave_events(specs: List[str]) -> List[Tuple[int, float, Any]]:
+    """Parse ``PID@TIME[:SUCCESSOR]`` arguments (e.g. ``--leave 1@20:0``)."""
+    events = []
+    for spec in specs:
+        pid_text, _, rest = spec.partition("@")
+        time_text, sep, succ_text = rest.partition(":")
+        try:
+            successor = int(succ_text) if sep else None
+            events.append((int(pid_text), float(time_text), successor))
+        except ValueError:
+            raise SystemExit(
+                f"bad leave spec {spec!r}; expected PID@TIME[:SUCCESSOR]"
+            ) from None
+    return events
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime", description=__doc__.split("\n\n")[0]
@@ -70,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="kill a node mid-run (repeatable)")
     parser.add_argument("--restart", action="append", default=[], metavar="PID@TIME",
                         help="restart a killed node (repeatable)")
+    parser.add_argument("--join", action="append", default=[], metavar="PID@TIME",
+                        help="admit a brand-new node mid-run (repeatable)")
+    parser.add_argument("--leave", action="append", default=[],
+                        metavar="PID@TIME[:SUCCESSOR]",
+                        help="gracefully retire a node mid-run, handing its "
+                             "obligations to SUCCESSOR (repeatable)")
     parser.add_argument("--out", default="runs/live",
                         help="output directory for storage + traces (default runs/live)")
     parser.add_argument("--json", default=None, metavar="PATH",
@@ -97,6 +124,10 @@ async def run_demo(args: argparse.Namespace) -> Dict[str, Any]:
         cluster.schedule_kill(pid, at)
     for pid, at in parse_events(args.restart):
         cluster.schedule_restart(pid, at)
+    for pid, at in parse_events(args.join):
+        cluster.schedule_join(pid, at)
+    for pid, at, successor in parse_leave_events(args.leave):
+        cluster.schedule_leave(pid, at, successor)
 
     await cluster.start()
     await cluster.run_for(args.duration)
@@ -108,6 +139,8 @@ async def run_demo(args: argparse.Namespace) -> Dict[str, Any]:
     summary = cluster.summary()
     summary["transport"] = args.transport
     summary["trace_files"] = cluster.router.paths
+    summary["joins"] = len(args.join)
+    summary["leaves"] = len(args.leave)
 
     index = cluster.merged_index()
     summary["merged_events"] = index.events_indexed
@@ -142,6 +175,10 @@ def run_sharded_demo(args: argparse.Namespace) -> Dict[str, Any]:
             cluster.schedule_kill(pid, at)
         for pid, at in parse_events(args.restart):
             cluster.schedule_restart(pid, at)
+        for pid, at in parse_events(args.join):
+            cluster.schedule_join(pid, at)
+        for pid, at, successor in parse_leave_events(args.leave):
+            cluster.schedule_leave(pid, at, successor)
         cluster.start()
         cluster.run_for(args.duration)
         cluster.quiesce()  # drain open 2PC rounds before the cut
@@ -153,11 +190,15 @@ def run_sharded_demo(args: argparse.Namespace) -> Dict[str, Any]:
     summary = cluster.summary()
     summary["transport"] = f"wire-v2 tcp x{args.shards} shards"
     summary["trace_files"] = cluster.trace_paths()
+    summary["joins"] = len(args.join)
+    summary["leaves"] = len(args.leave)
 
     index = cluster.merged_index()
     summary["merged_events"] = index.events_indexed
     try:
-        check_c1_from_trace(index, list(range(args.nodes)))
+        # Membership is derived from the trace itself (joiners appear,
+        # graceful leavers are settled history), so no pid list here.
+        check_c1_from_trace(index)
         summary["recovery_line_consistent"] = True
     except ConsistencyViolation as violation:
         summary["recovery_line_consistent"] = False
@@ -180,6 +221,12 @@ def render(summary: Dict[str, Any]) -> str:
         + " ".join(f"P{pid}:{n}" for pid, n in sorted(summary["committed"].items())),
         f"  recovery line consistent (C1): {summary['recovery_line_consistent']}",
     ]
+    if summary.get("joins") or summary.get("leaves"):
+        lines.insert(
+            -1,
+            f"  membership     {summary['joins']} join(s), "
+            f"{summary['leaves']} graceful leave(s)",
+        )
     return "\n".join(lines)
 
 

@@ -122,6 +122,10 @@ class Cluster:
             sinks=[self.router, *extra_sinks],
             time_scale=time_scale,
         )
+        self.config = config
+        self.process_cls = process_cls
+        self.flush_every = flush_every
+        self.spoolers = spoolers
         self.storages: Dict[ProcessId, WriteBehindFileStableStorage] = {}
         self.procs: Dict[ProcessId, CheckpointProcess] = {}
         for pid in range(n):
@@ -220,6 +224,66 @@ class Cluster:
             asyncio.get_running_loop().create_task(self.restart(pid))
 
         self.runtime.scheduler.at(at, fire, label=f"restart P{pid}")
+
+    # ------------------------------------------------------------------
+    # Dynamic membership (live)
+    # ------------------------------------------------------------------
+    async def join(self, pid: ProcessId) -> CheckpointProcess:
+        """Grow the live cluster: provision and admit a brand-new node.
+
+        The new node gets its own storage directory and (under TCP) its own
+        listening endpoint *before* the membership transition runs, so its
+        ``on_start`` traffic and any peer's first message to it have
+        somewhere to go.
+        """
+        if pid in self.procs:
+            raise SimulationError(f"P{pid} is already a cluster member")
+        storage = WriteBehindFileStableStorage(
+            os.path.join(self.root, f"node-{pid}"), flush_every=self.flush_every
+        )
+        node = self.process_cls(pid, self.config, storage=storage)
+        await self.transport.connect(pid)
+        self.storages[pid] = storage
+        self.procs[pid] = node
+        self.runtime.join_node(node)
+        if self.spoolers:
+            hosts = [p for p in self.runtime.process_ids if p != pid][:2]
+            if hosts:
+                self.runtime.network.install_spoolers(pid, hosts)
+        return node
+
+    async def leave(self, pid: ProcessId, successor: Optional[ProcessId] = None) -> None:
+        """Shrink the live cluster: gracefully retire ``pid``.
+
+        The kernel runs the handoff (obligations travel to ``successor`` as
+        an ordinary control message), then the node's endpoint is closed and
+        its storage flushed — the directory stays on disk for post-mortem
+        trace analysis.
+        """
+        self.runtime.leave_node(pid, successor)
+        self.transport.disconnect(pid)
+        storage = self.storages.get(pid)
+        if storage is not None:
+            storage.flush()
+        self.procs.pop(pid, None)
+
+    def schedule_join(self, pid: ProcessId, at: SimTime) -> None:
+        """Arrange :meth:`join` at kernel time ``at`` (usable pre-start)."""
+
+        def fire() -> None:
+            asyncio.get_running_loop().create_task(self.join(pid))
+
+        self.runtime.scheduler.at(at, fire, label=f"join P{pid}")
+
+    def schedule_leave(
+        self, pid: ProcessId, at: SimTime, successor: Optional[ProcessId] = None
+    ) -> None:
+        """Arrange :meth:`leave` at kernel time ``at`` (usable pre-start)."""
+
+        def fire() -> None:
+            asyncio.get_running_loop().create_task(self.leave(pid, successor))
+
+        self.runtime.scheduler.at(at, fire, label=f"leave P{pid}")
 
     # ------------------------------------------------------------------
     # Observation

@@ -38,6 +38,14 @@ class RuntimeNetwork(Network):
     def transmit(self, envelope: "Envelope") -> None:
         """Stamp, count, and hand the envelope to the transport."""
         if envelope.dst not in self.sim.nodes:
+            if self._is_departed(envelope.dst):
+                # Same salvage policy as the simulated network: a sender
+                # with a stale view of a graceful departure is not a
+                # routing error.
+                self._accept(envelope)
+                self.salvaged_departed += 1
+                self.spool_or_drop(envelope, "departed")
+                return
             raise NetworkError(f"unknown destination P{envelope.dst}")
         self._accept(envelope)
         self.transport.send(envelope)

@@ -145,6 +145,23 @@ class HashRing:
             shards[self.shard_of(pid)].append(pid)
         return shards
 
+    def grown(self, added_shards: int = 1) -> "HashRing":
+        """The ring after adding ``added_shards`` shards (elastic grow).
+
+        Existing shards keep their virtual points, so only the arcs the new
+        shards' points claim move — ~``added/(shards+added)`` of the pids.
+        """
+        if added_shards < 1:
+            raise SimulationError(f"must add at least 1 shard, got {added_shards}")
+        return HashRing(self.shards + added_shards, replicas=self.replicas)
+
+    def remap_fraction(self, other: "HashRing", pids: List[ProcessId]) -> float:
+        """Fraction of ``pids`` whose owning shard differs under ``other``."""
+        if not pids:
+            return 0.0
+        moved = sum(1 for pid in pids if self.shard_of(pid) != other.shard_of(pid))
+        return moved / len(pids)
+
 
 # ----------------------------------------------------------------------
 # Worker-side network facade and transport
@@ -167,10 +184,18 @@ class ShardNetwork(RuntimeNetwork):
         channel: Optional[Any] = None,
     ) -> None:
         super().__init__(transport, delay_model=delay_model, channel=channel)
-        self.global_pids = frozenset(global_pids)
+        self.global_pids = set(global_pids)
+        # Pids that left the cluster gracefully (any shard); traffic to them
+        # is salvaged, not treated as a routing error.
+        self.departed_pids: set = set()
 
     def transmit(self, envelope: "Envelope") -> None:
         if envelope.dst not in self.global_pids:
+            if envelope.dst in self.departed_pids or self._is_departed(envelope.dst):
+                self._accept(envelope)
+                self.salvaged_departed += 1
+                self.spool_or_drop(envelope, "departed")
+                return
             raise NetworkError(f"unknown destination P{envelope.dst}")
         self._accept(envelope)
         self.transport.send(envelope)
@@ -213,6 +238,18 @@ class ShardRuntime(AsyncRuntime):
             self._remote_down.discard(pid)
         else:
             self._remote_down.add(pid)
+
+    def admit_pid(self, pid: ProcessId) -> None:
+        """Extend the global population view with a newly joined pid."""
+        if pid not in self._membership:
+            self._all_pids = sorted(set(self._all_pids) | {pid})
+            self._membership = frozenset(self._all_pids)
+
+    def retire_pid(self, pid: ProcessId) -> None:
+        """Drop a gracefully departed pid from the global population view."""
+        self._all_pids = [p for p in self._all_pids if p != pid]
+        self._membership = frozenset(self._all_pids)
+        self._remote_down.discard(pid)
 
 
 class ShardFailureDetector(FailureDetector):
@@ -450,9 +487,20 @@ class ShardTransport(Transport):
                 envelope = wire.loads_frame(blob)
                 self.frames_received += 1
                 if envelope.dst not in self.runtime.nodes:
-                    # A frame for a pid this shard does not host (ring
-                    # disagreement would be a bug; count it loudly).
+                    # A frame for a pid this shard does not host: the
+                    # sender routed on a stale ring (mid view change) or
+                    # the pid departed.  Count it, then salvage: re-forward
+                    # via the *current* ring when it names another owner,
+                    # else hand it to the spool-or-drop policy.
                     self.misrouted += 1
+                    net = self.runtime.network
+                    if (
+                        self.ring.shard_of(envelope.dst) != self.shard
+                        and envelope.dst in getattr(net, "global_pids", ())
+                    ):
+                        self.send(envelope)
+                    else:
+                        net.spool_or_drop(envelope, "misrouted")
                     continue
                 self._deliver_after_delay(envelope)
         except (ConnectionError, asyncio.CancelledError):
@@ -571,6 +619,7 @@ class ShardWorker:
         self.storages: Dict[ProcessId, WriteBehindFileStableStorage] = {}
         self.procs: Dict[ProcessId, Node] = {}
         self.app_traffic: Optional[Any] = None
+        self.process_cls: Any = CheckpointProcess
         if spec.bench:
             for pid in self.local_pids:
                 self.procs[pid] = self.runtime.add_node(
@@ -587,6 +636,7 @@ class ShardWorker:
             from repro.app.state import AppProcess
 
             process_cls = AppProcess
+        self.process_cls = process_cls
         for pid in self.local_pids:
             storage = WriteBehindFileStableStorage(
                 os.path.join(spec.root, f"node-{pid}"), flush_every=spec.flush_every
@@ -647,6 +697,132 @@ class ShardWorker:
             self.runtime.scheduler.at(
                 at, transition, priority=PRIORITY_TIMER, label=label
             )
+
+    # ------------------------------------------------------------------
+    # Dynamic membership (churn)
+    # ------------------------------------------------------------------
+    def _at(self, at: Optional[SimTime], action: Callable[[], None], label: str) -> None:
+        """Run ``action`` now, or at kernel time ``at`` when given."""
+        if at is None:
+            action()
+        else:
+            self.runtime.scheduler.at(at, action, priority=PRIORITY_TIMER, label=label)
+
+    def join_local(self, pid: ProcessId, at: Optional[SimTime] = None) -> None:
+        """Admit a new pid this shard owns: storage, node, membership."""
+        spec = self.spec
+
+        def transition() -> None:
+            storage = WriteBehindFileStableStorage(
+                os.path.join(spec.root, f"node-{pid}"), flush_every=spec.flush_every
+            )
+            self.storages[pid] = storage
+            node = self.process_cls(pid, spec.config, storage=storage)
+            self.procs[pid] = node
+            self.runtime.admit_pid(pid)
+            self.runtime.network.global_pids.add(pid)
+            self.local_pids = sorted(set(self.local_pids) | {pid})
+            self.runtime.join_node(node)
+
+        self._at(at, transition, f"join P{pid}")
+
+    def leave_local(
+        self,
+        pid: ProcessId,
+        successor: Optional[ProcessId] = None,
+        at: Optional[SimTime] = None,
+    ) -> None:
+        """Gracefully retire a hosted pid (handoff runs in the kernel)."""
+
+        def transition() -> None:
+            self.runtime.leave_node(pid, successor)
+            self.runtime.retire_pid(pid)
+            self.runtime.network.global_pids.discard(pid)
+            self.runtime.network.departed_pids.add(pid)
+            self.local_pids = [p for p in self.local_pids if p != pid]
+            storage = self.storages.get(pid)
+            if storage is not None:
+                storage.flush()
+            self.procs.pop(pid, None)
+
+        self._at(at, transition, f"leave P{pid}")
+
+    def notice_join(self, pid: ProcessId, at: Optional[SimTime] = None) -> None:
+        """A pid joined on another shard: extend the view, tell residents."""
+
+        def transition() -> None:
+            self.runtime.admit_pid(pid)
+            self.runtime.network.global_pids.add(pid)
+            for other in sorted(self.runtime.nodes):
+                node = self.runtime.nodes[other]
+                if not node.crashed:
+                    node.on_join_peer(pid)
+
+        self._at(at, transition, f"remote join P{pid}")
+
+    def notice_leave(
+        self,
+        pid: ProcessId,
+        successor: Optional[ProcessId] = None,
+        at: Optional[SimTime] = None,
+    ) -> None:
+        """A pid departed on another shard: shrink the view, tell residents."""
+
+        def transition() -> None:
+            self.runtime.retire_pid(pid)
+            self.runtime.network.global_pids.discard(pid)
+            self.runtime.network.departed_pids.add(pid)
+            for other in sorted(self.runtime.nodes):
+                node = self.runtime.nodes[other]
+                if not node.crashed:
+                    node.on_leave_peer(pid, successor)
+
+        self._at(at, transition, f"remote leave P{pid}")
+
+    def apply_churn(self, ops: List[Dict[str, Any]]) -> int:
+        """Apply one batched churn command (satellite of the membership PR).
+
+        ``ops`` is the *full* cluster-wide batch — every worker receives the
+        identical list in one pipe message and splits it locally: ops whose
+        pid this shard owns run as real transitions, the rest as remote
+        notices.  Returns how many ops were applied locally.
+        """
+        local_applied = 0
+        for op in ops:
+            kind = op["kind"]
+            pid = op["pid"]
+            at = op.get("at")
+            local = self.ring.shard_of(pid) == self.spec.shard
+            if kind == "kill":
+                if local:
+                    self._at(
+                        at, lambda pid=pid: self.runtime.crash(pid), f"kill P{pid}"
+                    )
+                else:
+                    self.notice_remote(pid, up=False, at=at)
+            elif kind == "restart":
+                if local:
+                    self._at(
+                        at, lambda pid=pid: self.runtime.recover(pid), f"restart P{pid}"
+                    )
+                else:
+                    self.notice_remote(pid, up=True, at=at)
+            elif kind == "join":
+                if local:
+                    self.join_local(pid, at=at)
+                else:
+                    self.notice_join(pid, at=at)
+            elif kind == "leave":
+                successor = op.get("successor")
+                if local:
+                    self.leave_local(pid, successor=successor, at=at)
+                else:
+                    self.notice_leave(pid, successor=successor, at=at)
+            else:
+                raise SimulationError(f"unknown churn op kind {kind!r}")
+            if local:
+                local_applied += 1
+        return local_applied
 
     def quiesce(self) -> int:
         """Stop autonomous checkpoint initiation on every hosted engine.
@@ -794,6 +970,8 @@ async def _worker_async(spec: WorkerSpec, conn: "Connection") -> None:
             elif command == "schedule_peer_up":
                 pid, at = payload
                 worker.notice_remote(pid, up=True, at=at)
+            elif command == "churn":
+                result = worker.apply_churn(payload)
             elif command == "poll":
                 result = worker.poll()
             elif command == "quiesce":
@@ -925,6 +1103,8 @@ class ShardedCluster:
         self.time_scale = time_scale
         self.ring = HashRing(shards, replicas=ring_replicas)
         self.assignment = self.ring.assignment(list(range(n)))
+        self._pids: set = set(range(n))
+        self._departed: set = set()
         os.makedirs(self.root, exist_ok=True)
         context: "BaseContext" = get_context(start_method)
         self._workers: List[_WorkerHandle] = []
@@ -999,9 +1179,14 @@ class ShardedCluster:
         instead of surfacing as a confusing ``HashRing`` placement deep in
         a worker.
         """
-        if not 0 <= pid < self.n:
+        if pid not in self._pids:
+            lo, hi = (min(self._pids), max(self._pids)) if self._pids else (0, -1)
+            if len(self._pids) == hi - lo + 1:
+                population = f"pids {lo}..{hi}"
+            else:
+                population = f"{len(self._pids)} pid(s)"
             raise KeyError(
-                f"unknown pid P{pid}: the ring hosts pids 0..{self.n - 1} "
+                f"unknown pid P{pid}: the ring hosts {population} "
                 f"across {self.shards} shard(s)"
             )
         return self._workers[self.ring.shard_of(pid)]
@@ -1132,49 +1317,84 @@ class ShardedCluster:
                 pass
 
     # ------------------------------------------------------------------
-    # Failure injection (by pid; the shard is the cluster's business)
+    # Failure injection and membership (by pid; the shard is the
+    # cluster's business).  Every transition funnels through the batched
+    # churn command: ONE pipe message per worker carries the whole batch,
+    # however many kills/restarts/joins/leaves it contains, instead of a
+    # per-pid fan-out of per-worker notices.
     # ------------------------------------------------------------------
+    def churn(self, ops: List[Dict[str, Any]]) -> List[Any]:
+        """Apply a batch of churn ops cluster-wide with one post per shard.
+
+        Each op is ``{"kind": "kill"|"restart"|"join"|"leave", "pid": p}``
+        plus optional ``"at"`` (kernel time; omit for "now") and, for
+        leaves, ``"successor"``.  Validation and the parent's membership
+        bookkeeping happen here; workers split the batch into local
+        transitions and remote notices themselves (they share the ring).
+        """
+        for op in ops:
+            kind, pid = op["kind"], op["pid"]
+            if kind in ("kill", "restart", "leave"):
+                self.owner(pid)  # raises KeyError for an unknown pid
+            elif kind == "join":
+                if pid in self._pids:
+                    raise SimulationError(f"P{pid} is already a cluster member")
+                if pid in self._departed:
+                    raise SimulationError(f"P{pid} departed and cannot be reused")
+            else:
+                raise SimulationError(f"unknown churn op kind {kind!r}")
+            successor = op.get("successor")
+            if successor is not None and successor not in self._pids:
+                raise KeyError(f"unknown successor P{successor}")
+        results = self._broadcast("churn", lambda w: ops)
+        for op in ops:
+            kind, pid = op["kind"], op["pid"]
+            if kind == "kill":
+                self._down.add(pid)
+            elif kind == "restart":
+                self._down.discard(pid)
+            elif kind == "join":
+                self._pids.add(pid)
+            elif kind == "leave":
+                self._pids.discard(pid)
+                self._down.discard(pid)
+                self._departed.add(pid)
+        return results
+
     def kill(self, pid: ProcessId) -> None:
         """Crash ``pid`` on its owning shard; notify every other shard."""
-        owner = self.owner(pid)
-        owner.post("kill", pid)
-        for worker in self._workers:
-            if worker is not owner:
-                worker.post("peer_down", pid)
-        for worker in self._workers:
-            worker.wait()
-        self._down.add(pid)
+        self.churn([{"kind": "kill", "pid": pid}])
 
     def restart(self, pid: ProcessId) -> None:
         """Recover ``pid`` from its shard-local stable storage."""
-        owner = self.owner(pid)
-        owner.post("restart", pid)
-        for worker in self._workers:
-            if worker is not owner:
-                worker.post("peer_up", pid)
-        for worker in self._workers:
-            worker.wait()
-        self._down.discard(pid)
+        self.churn([{"kind": "restart", "pid": pid}])
 
     def schedule_kill(self, pid: ProcessId, at: SimTime) -> None:
         """Arrange a kill at kernel time ``at`` (call before :meth:`start`)."""
-        owner = self.owner(pid)
-        owner.post("schedule_kill", (pid, at))
-        for worker in self._workers:
-            if worker is not owner:
-                worker.post("schedule_peer_down", (pid, at))
-        for worker in self._workers:
-            worker.wait()
+        self.churn([{"kind": "kill", "pid": pid, "at": at}])
 
     def schedule_restart(self, pid: ProcessId, at: SimTime) -> None:
         """Arrange a restart at kernel time ``at`` (call before :meth:`start`)."""
-        owner = self.owner(pid)
-        owner.post("schedule_restart", (pid, at))
-        for worker in self._workers:
-            if worker is not owner:
-                worker.post("schedule_peer_up", (pid, at))
-        for worker in self._workers:
-            worker.wait()
+        self.churn([{"kind": "restart", "pid": pid, "at": at}])
+
+    def join(self, pid: ProcessId) -> None:
+        """Grow the cluster: admit brand-new ``pid`` on its ring-owner shard."""
+        self.churn([{"kind": "join", "pid": pid}])
+
+    def leave(self, pid: ProcessId, successor: Optional[ProcessId] = None) -> None:
+        """Shrink the cluster: gracefully retire ``pid`` (handoff to
+        ``successor`` when given)."""
+        self.churn([{"kind": "leave", "pid": pid, "successor": successor}])
+
+    def schedule_join(self, pid: ProcessId, at: SimTime) -> None:
+        """Arrange a join at kernel time ``at`` (call before :meth:`start`)."""
+        self.churn([{"kind": "join", "pid": pid, "at": at}])
+
+    def schedule_leave(
+        self, pid: ProcessId, at: SimTime, successor: Optional[ProcessId] = None
+    ) -> None:
+        """Arrange a leave at kernel time ``at`` (call before :meth:`start`)."""
+        self.churn([{"kind": "leave", "pid": pid, "at": at, "successor": successor}])
 
     # ------------------------------------------------------------------
     # Bench drive (the E-SCALE shards axis)

@@ -96,6 +96,13 @@ class Transport:
     async def reconnect(self, pid: "ProcessId") -> None:
         """Restore ``pid``'s endpoint after a :meth:`disconnect` (restart)."""
 
+    async def connect(self, pid: "ProcessId") -> None:
+        """Provision an endpoint for a newly joined node (membership join).
+
+        No-op for in-process transports; the TCP transport opens a fresh
+        listening server for ``pid``.
+        """
+
     def _deliver_after_delay(self, envelope: Envelope) -> None:
         """Schedule policy-checked delivery after the modelled network delay.
 
@@ -323,6 +330,12 @@ class TcpTransport(Transport):
             raise TransportError(f"P{pid} is not disconnected")
         self._down.discard(pid)
         self._close_generation(pid)
+        await self._open_server(pid)
+
+    async def connect(self, pid: "ProcessId") -> None:
+        """Open a listening server for a freshly joined node."""
+        if pid in self._servers:
+            raise TransportError(f"P{pid} already has an endpoint")
         await self._open_server(pid)
 
     # ------------------------------------------------------------------

@@ -140,6 +140,20 @@ class Node:
     def on_recovery_notice(self, pid: ProcessId) -> None:
         """Failure detector reports that process ``pid`` is operational again."""
 
+    # -- dynamic membership (repro.membership) -------------------------
+    def on_join_peer(self, pid: ProcessId) -> None:
+        """The membership plane reports that process ``pid`` joined."""
+
+    def on_leave_peer(self, pid: ProcessId, successor: Optional[ProcessId]) -> None:
+        """The membership plane reports that ``pid`` gracefully departed."""
+
+    def on_leave(self, successor: Optional[ProcessId], spooled: tuple = ()) -> None:
+        """This node itself is departing; hand obligations to ``successor``.
+
+        ``spooled`` carries ``(src, label)`` summaries of the dead letters
+        drained from this node's spooler group.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "crashed" if self.crashed else "up"
         return f"<{type(self).__name__} P{self.node_id} {state}>"

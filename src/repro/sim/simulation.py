@@ -75,3 +75,25 @@ class Simulation(KernelCore):
             for pid in self.process_ids:
                 self.nodes[pid].on_start()
         return self.scheduler.run(until=until, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Dynamic membership
+    # ------------------------------------------------------------------
+    def join(self, node) -> None:
+        """Admit ``node`` into the running simulation (graceful join).
+
+        Before :meth:`run` has started the system this is just
+        :meth:`add_node`; afterwards it is a live membership transition —
+        the joiner's ``on_start`` fires immediately and every other live
+        node hears ``on_join_peer``.
+        """
+        if not self._started:
+            self.add_node(node)
+            return
+        self.join_node(node)
+
+    def leave(self, pid, successor=None) -> None:
+        """Gracefully retire ``pid``; see :meth:`KernelCore.leave_node`."""
+        if not self._started:
+            raise SimulationError("leave() requires a started simulation")
+        self.leave_node(pid, successor)

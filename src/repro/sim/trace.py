@@ -49,8 +49,11 @@ from repro.tracekinds import (  # noqa: F401
     K_DISCARD,
     K_INSTANCE_ABORT,
     K_INSTANCE_COMMIT,
+    K_HANDOFF,
     K_INSTANCE_REJECTED,
     K_INSTANCE_START,
+    K_JOIN,
+    K_LEAVE,
     K_MERGE,
     K_PARTITION,
     K_RECEIVE,

@@ -52,4 +52,9 @@ K_RECOVER = "recover"              # pid
 K_PARTITION = "partition"          # groups
 K_MERGE = "merge"                  # groups
 
+# -- dynamic membership (repro.membership) ------------------------------------
+K_JOIN = "join"                    # pid, epoch
+K_LEAVE = "leave"                  # pid, epoch, successor
+K_HANDOFF = "handoff"              # pid (successor), source, spooled, trees
+
 __all__ = [name for name in dict(vars()) if name.startswith("K_")]

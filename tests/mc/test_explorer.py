@@ -67,3 +67,35 @@ def test_replay_reproduces_a_schedule_prefix_deterministically():
 def test_nonpositive_depth_bound_rejected(bad_depth):
     with pytest.raises(ValueError):
         Explorer(make_scenario("concurrent", 3), depth_bound=bad_depth)
+
+
+def test_join_mid_instance_neither_blocks_nor_breaks_minimality():
+    # The explorer places the join at every point relative to the 2PC:
+    # every terminal state must be quiescent (the instance completed — a
+    # join never blocks the round), the quiescent battery holds over the
+    # enlarged membership, and the single-instance minimality check
+    # confirms the joiner was never recruited into the tree.
+    explorer = Explorer(make_scenario("join-mid-instance", 3), depth_bound=25)
+    result = explorer.run()
+    assert result.violation is None
+    assert result.exhaustive
+    assert result.terminal > 0
+
+
+def test_joined_engine_participates_in_later_replayed_steps():
+    explorer = Explorer(make_scenario("join-mid-instance", 3), depth_bound=25)
+    harness = explorer.replay([])
+    # Fire the join first, then drain everything else.
+    join_key = next(
+        k for k in harness.enabled()
+        if k[0] == "a" and harness._pending_actions[k[1]][1] == "join"
+    )
+    harness.execute(join_key)
+    assert 3 in harness.engines
+    assert harness.engines[3].peers == (0, 1, 2, 3)
+    assert all(e.peers == (0, 1, 2, 3) for e in harness.engines.values())
+    while not harness.quiescent:
+        harness.execute(harness.enabled()[0])
+    # The joiner has no communication history, so it must not have been
+    # recruited: no committed checkpoint beyond its initial one.
+    assert len(harness.engines[3].committed_history) == 1

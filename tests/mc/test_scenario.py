@@ -6,7 +6,12 @@ from repro.mc import SCENARIOS, Scenario, make_scenario
 
 
 def test_registry_covers_the_documented_scenarios():
-    assert set(SCENARIOS) == {"concurrent", "isolated-checkpoint", "isolated-rollback"}
+    assert set(SCENARIOS) == {
+        "concurrent",
+        "isolated-checkpoint",
+        "isolated-rollback",
+        "join-mid-instance",
+    }
 
 
 def test_make_scenario_builds_each_registered_name():
@@ -47,3 +52,16 @@ def test_out_of_range_action_pid_rejected():
 def test_unknown_action_op_rejected():
     with pytest.raises(ValueError, match="unknown action"):
         Scenario(name="bad", n=2, setup=(), actions=((0, "explode"),))
+
+
+def test_join_pid_must_be_outside_the_seed_membership():
+    with pytest.raises(ValueError, match="already a member"):
+        Scenario(name="bad", n=3, setup=(), actions=((1, "join"),))
+
+
+def test_join_mid_instance_admits_a_fresh_pid():
+    scenario = make_scenario("join-mid-instance", 3)
+    ops = sorted(op for _, op in scenario.actions)
+    assert ops == ["checkpoint", "join"]
+    join_pid = next(pid for pid, op in scenario.actions if op == "join")
+    assert join_pid >= scenario.n

@@ -159,6 +159,58 @@ def test_cluster_requires_two_nodes(tmp_path):
         Cluster(n=1, root=str(tmp_path / "solo"))
 
 
+def test_live_cluster_grows_and_shrinks_mid_run(tmp_path):
+    # The membership front doors on the live kernel: a brand-new node joins
+    # a running TCP cluster on its own endpoint, becomes a full protocol
+    # participant (its checkpoint instance commits), then another node
+    # gracefully leaves, handing its obligations to a successor — and the
+    # merged trace still certifies a C1-consistent recovery line.
+    cluster = build(tmp_path, transport="tcp")
+
+    async def scenario():
+        await cluster.start()
+        await cluster.wait_until(
+            lambda: everyone_committed_twice(cluster),
+            timeout=120.0, what="committed checkpoints",
+        )
+        node = await cluster.join(3)
+        assert 3 in cluster.transport.ports
+        node.send_app_message(0, "hello")
+        cluster.procs[0].send_app_message(3, "back")
+        await cluster.run_for(2.0)
+        node.initiate_checkpoint()
+        await cluster.wait_until(
+            lambda: cluster.committed_counts().get(3, 0) >= 2,
+            timeout=120.0, what="the joiner's first committed instance",
+        )
+        await cluster.leave(1, successor=0)
+        # The handoff travels to the successor as an ordinary control
+        # message over real TCP — wait for acceptance, don't race it.
+        await cluster.wait_until(
+            lambda: 1 in cluster.procs[0].engine.adopted,
+            timeout=120.0, what="the successor adopting P1's obligations",
+        )
+        await cluster.run_for(2.0)
+        await cluster.shutdown()
+
+    run(scenario(), timeout=240.0)
+
+    assert 1 not in cluster.procs and 3 in cluster.procs
+    index = cluster.merged_index()
+    joins = index.by_kind("join")
+    assert [e.pid for e in joins] == [3]
+    leaves = index.by_kind("leave")
+    assert [e.pid for e in leaves] == [1]
+    assert leaves[0].fields["successor"] == 0
+    handoffs = index.by_kind("handoff")
+    assert [e.pid for e in handoffs] == [0]
+    # Survivors know P1 is settled history, not a future recruit.
+    for pid in (0, 2, 3):
+        assert 1 in cluster.procs[pid].engine.departed_peers
+    check_c1_from_trace(index)
+    assert cluster.summary()["timer_errors"] == 0
+
+
 def test_mixed_version_cluster_commits_consistent_checkpoint(tmp_path):
     # A rolling-upgrade cluster: node 0's endpoint only speaks the JSON v1
     # wire format while the others advertise binary v2.  Senders negotiate
